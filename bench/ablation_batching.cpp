@@ -1,0 +1,83 @@
+// Ablation: the server's adaptive batching design (paper §IV-A).
+//  (a) batch limit sweep: 1 / 4 / 8 / 15 / 32 under heavy load
+//  (b) rejection policy: reject-overflow (paper) vs queue-everything
+// Shows why the paper caps batches at 15 and sheds the queue remainder.
+
+#include <iostream>
+
+#include "ff/core/framefeedback.h"
+#include "ff/rt/thread_pool.h"
+
+namespace {
+
+using namespace ff;
+
+core::Scenario loaded_scenario(int batch_limit, bool reject_overflow) {
+  core::Scenario s = core::Scenario::ideal(60 * kSecond);
+  s.seed = 42;
+  s.server.batch_limit = batch_limit;
+  s.server.reject_overflow = reject_overflow;
+  s.background_load = server::LoadSchedule::constant(Rate{170.0});
+  s.background.payload = models::frame_bytes({});
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Adaptive-batching ablations (170 req/s background + 1 "
+               "device) ===\n\n";
+
+  {
+    const std::vector<int> limits = {1, 4, 8, 15, 32};
+    const auto results = rt::parallel_map(limits.size(), [&](std::size_t i) {
+      return core::run_experiment(
+          loaded_scenario(limits[i], true),
+          core::make_controller_factory<control::FrameFeedbackController>());
+    });
+    TextTable table({"batch limit", "server fps", "mean batch", "rejected",
+                     "device P (fps)", "device Tl"});
+    for (std::size_t i = 0; i < limits.size(); ++i) {
+      const auto& r = results[i];
+      const double server_fps =
+          static_cast<double>(r.server.requests_completed) /
+          sim_to_seconds(r.duration);
+      table.add_row({std::to_string(limits[i]), fmt(server_fps, 0),
+                     fmt(r.server.mean_batch_size(), 1),
+                     std::to_string(r.server.requests_rejected),
+                     fmt(r.devices[0].mean_throughput(), 2),
+                     std::to_string(r.devices[0].totals.timeouts_load)});
+    }
+    std::cout << "(a) Batch limit sweep (rejection on):\n" << table.render()
+              << "\n";
+  }
+
+  {
+    const auto rejecting = core::run_experiment(
+        loaded_scenario(15, true),
+        core::make_controller_factory<control::FrameFeedbackController>());
+    const auto queueing = core::run_experiment(
+        loaded_scenario(15, false),
+        core::make_controller_factory<control::FrameFeedbackController>());
+    TextTable table({"policy", "device P (fps)", "device timeouts (Tn/Tl)",
+                     "server latency p-mean (ms)", "server rejected"});
+    for (const auto* r : {&rejecting, &queueing}) {
+      const auto& d = r->devices[0];
+      table.add_row(
+          {r == &rejecting ? "reject overflow (paper)" : "queue everything",
+           fmt(d.mean_throughput(), 2),
+           std::to_string(d.totals.timeouts_network) + "/" +
+               std::to_string(d.totals.timeouts_load),
+           fmt(r->server.service_latency_us.mean() / 1000.0, 1),
+           std::to_string(r->server.requests_rejected)});
+    }
+    std::cout << "(b) Overflow policy at the paper's limit of 15:\n"
+              << table.render();
+    std::cout << "\nReading: without rejection the queue grows and every\n"
+                 "request eventually misses its deadline anyway (higher Tn,\n"
+                 "higher server latency); rejecting early gives clients a\n"
+                 "fast, attributable Tl signal the controller can act on --\n"
+                 "the paper's design.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Head-to-head with an ATOMS-style reservation system (paper §V-B). The
+// reservation manager is given its idealized best case -- an instantaneous,
+// loss-free control plane and a perfect capacity figure -- and still loses
+// where the paper says it must:
+//  (a) under background load that bypasses reservations, it over-grants
+//      and clients eat rejections;
+//  (b) under network degradation it is simply blind and keeps offloading
+//      into a dead link.
+
+#include <iostream>
+#include <memory>
+
+#include "ff/core/framefeedback.h"
+
+namespace {
+
+using namespace ff;
+
+core::ControllerFactory reservation_factory(server::ReservationManager& mgr) {
+  return [&mgr](std::size_t device_index) {
+    return std::make_unique<control::ReservationController>(
+        mgr, device_index + 1);
+  };
+}
+
+void run_block(const std::string& title, const core::Scenario& scenario,
+               const std::function<std::vector<core::PhaseStat>(
+                   const core::ExperimentResult&)>& phases) {
+  server::ReservationManager mgr(
+      {models::gpu_throughput(
+           models::get_model(models::ModelId::kMobileNetV3Small), 15),
+       0.9});
+
+  const auto res = core::run_experiment(scenario, reservation_factory(mgr));
+  const auto ff = core::run_experiment(
+      scenario,
+      core::make_controller_factory<control::FrameFeedbackController>());
+
+  std::cout << title << "\n";
+  core::print_phase_comparison(std::cout, {"reservation (ATOMS-style)",
+                                           "frame-feedback"},
+                               {phases(res), phases(ff)});
+  TextTable totals({"controller", "mean P (fps)", "goodput %",
+                    "timeouts (Tn/Tl)"});
+  for (const auto* r : {&res, &ff}) {
+    const auto& d = r->devices[0];
+    totals.add_row({d.controller, fmt(d.mean_throughput(), 2),
+                    fmt(d.goodput_fraction() * 100, 1),
+                    std::to_string(d.totals.timeouts_network) + "/" +
+                        std::to_string(d.totals.timeouts_load)});
+  }
+  std::cout << totals.render() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Reservation (ATOMS-style, idealized) vs FrameFeedback "
+               "===\n\n";
+
+  {
+    core::Scenario s = core::Scenario::paper_server_load();
+    s.seed = 42;
+    run_block(
+        "(a) Table VI background load (bypasses the reservation system):", s,
+        [&s](const core::ExperimentResult& r) {
+          return core::phase_means(*r.devices[0].series.find("P"),
+                                   s.background_load, r.duration);
+        });
+  }
+
+  {
+    core::Scenario s = core::Scenario::paper_network();
+    s.seed = 42;
+    run_block("(b) Table V network walk (reservations are network-blind):", s,
+              [&s](const core::ExperimentResult& r) {
+                return core::phase_means(*r.devices[0].series.find("P"),
+                                         s.network, r.duration);
+              });
+  }
+
+  std::cout << "Reading: with no interfering tenants and a clean network the\n"
+               "reservation grant equals Fs and both controllers tie. Once\n"
+               "unreserved load or bad links appear, the manager's model of\n"
+               "the world is wrong and only the feedback controller reacts --\n"
+               "the paper's §V-B argument, quantified.\n";
+  return 0;
+}

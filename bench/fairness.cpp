@@ -1,0 +1,76 @@
+// Multi-tenant fairness: the paper requires that when the server
+// saturates, "the system should respond by reducing offloading and
+// distributing the available capacity fairly among clients" (§II-A.3).
+// Runs N identical devices against one server at increasing N and reports
+// Jain's fairness index over per-device offload throughput.
+
+#include <cmath>
+#include <iostream>
+
+#include "ff/core/framefeedback.h"
+#include "ff/rt/thread_pool.h"
+
+namespace {
+
+double jain_index(const std::vector<double>& xs) {
+  double sum = 0, sq = 0;
+  for (const double x : xs) {
+    sum += x;
+    sq += x * x;
+  }
+  if (sq <= 0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sq);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ff;
+
+  std::cout << "=== Multi-tenant fairness (identical devices, shared GPU) "
+               "===\n\n";
+
+  const std::vector<int> device_counts = {2, 4, 6, 8, 12};
+
+  const auto results = rt::parallel_map(device_counts.size(), [&](std::size_t i) {
+    core::Scenario s = core::Scenario::ideal(60 * kSecond);
+    s.seed = 42;
+    const device::DeviceConfig proto = s.devices[0];
+    s.devices.clear();
+    for (int d = 0; d < device_counts[i]; ++d) {
+      device::DeviceConfig dc = proto;
+      dc.name = "dev" + std::to_string(d);
+      s.add_device(dc);
+    }
+    return core::run_experiment(
+        s, core::make_controller_factory<control::FrameFeedbackController>());
+  });
+
+  TextTable table({"devices", "offered (fps)", "server capacity", "total P",
+                   "min/max device offload", "Jain index"});
+  const double capacity = models::gpu_throughput(
+      models::get_model(models::ModelId::kMobileNetV3Small), 15);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::vector<double> offload_rates;
+    for (const auto& d : r.devices) {
+      offload_rates.push_back(
+          d.series.find("Po_success")->mean_between(20 * kSecond, r.duration));
+    }
+    const auto [mn, mx] =
+        std::minmax_element(offload_rates.begin(), offload_rates.end());
+    table.add_row({std::to_string(device_counts[i]),
+                   fmt(device_counts[i] * 30.0, 0), fmt(capacity, 0),
+                   fmt(r.total_mean_throughput(), 1),
+                   fmt(*mn, 1) + " / " + fmt(*mx, 1),
+                   fmt(jain_index(offload_rates), 3)});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nReading: below saturation every device offloads ~30 fps\n"
+               "(index ~1.0). Past saturation the rejection signal pushes\n"
+               "every controller down together; a healthy result keeps the\n"
+               "index high while total P approaches server capacity plus the\n"
+               "devices' local rates.\n";
+  return 0;
+}

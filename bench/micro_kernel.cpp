@@ -1,0 +1,95 @@
+// Micro-benchmarks for the discrete-event kernel: the substrate every
+// experiment runs on. Throughput here bounds how fast the figure
+// reproductions can run.
+
+#include <benchmark/benchmark.h>
+
+#include "ff/sim/event_queue.h"
+#include "ff/sim/simulator.h"
+#include "ff/sim/timer.h"
+#include "ff/util/rng.h"
+
+namespace {
+
+using namespace ff;
+
+void BM_EventQueueScheduleDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)q.schedule(rng.uniform_int(0, 1'000'000), [] {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_EventQueueScheduleDrain)->Range(1 << 8, 1 << 16);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  // A single self-rescheduling event: pure kernel overhead per event.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < 100'000) (void)sim.schedule_in(10, chain);
+    };
+    (void)sim.schedule_in(10, chain);
+    (void)sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_SimulatorEventChain);
+
+void BM_SimulatorCancelHeavy(benchmark::State& state) {
+  // Schedule/cancel churn, the transport RTO pattern.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    ids.reserve(10'000);
+    for (int i = 0; i < 10'000; ++i) {
+      ids.push_back(sim.schedule_in(1000 + i, [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) {
+      (void)sim.cancel(ids[i]);
+    }
+    (void)sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_SimulatorCancelHeavy);
+
+void BM_PeriodicTimerTicks(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t ticks = 0;
+    sim::PeriodicTimer timer(sim, [&](std::uint64_t) { ++ticks; });
+    timer.start(kMillisecond);
+    (void)sim.run_until(100 * kSecond);
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_PeriodicTimerTicks);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal(0.0, 1.0));
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+}  // namespace

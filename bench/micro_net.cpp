@@ -1,0 +1,77 @@
+// Micro-benchmarks for the network emulator: per-packet link cost and
+// end-to-end reliable-channel message cost under clean and lossy links.
+
+#include <benchmark/benchmark.h>
+
+#include "ff/net/transport.h"
+
+namespace {
+
+using namespace ff;
+
+net::LinkConfig fast_link() {
+  net::LinkConfig c;
+  c.initial.bandwidth = Bandwidth::mbps(1000.0);
+  c.initial.propagation_delay = 10;
+  c.queue_limit = 1 << 16;
+  return c;
+}
+
+void BM_LinkPacketDelivery(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Link link(sim, fast_link());
+    std::uint64_t delivered = 0;
+    link.set_receiver([&](const net::Packet&) { ++delivered; });
+    for (int i = 0; i < 10'000; ++i) {
+      net::Packet p;
+      p.message_id = i;
+      p.size = Bytes{1442};
+      (void)link.send(p);
+    }
+    (void)sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_LinkPacketDelivery);
+
+void BM_ReliableChannelMessage(benchmark::State& state) {
+  const auto payload = Bytes{state.range(0)};
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::DuplexPath path(sim, fast_link(), fast_link());
+    std::uint64_t delivered = 0;
+    path.uplink().set_on_message([&](std::uint64_t, Bytes) { ++delivered; });
+    for (int i = 0; i < 1000; ++i) {
+      path.uplink().send(i, payload);
+    }
+    (void)sim.run_until(60 * kSecond);
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1000 *
+                          payload.count);
+}
+BENCHMARK(BM_ReliableChannelMessage)->Arg(1400)->Arg(30000)->Arg(200000);
+
+void BM_ReliableChannelLossy(benchmark::State& state) {
+  // 7% loss: cost includes retransmission machinery.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::LinkConfig lossy = fast_link();
+    lossy.initial.loss_probability = 0.07;
+    net::DuplexPath path(sim, lossy, lossy);
+    std::uint64_t delivered = 0;
+    path.uplink().set_on_message([&](std::uint64_t, Bytes) { ++delivered; });
+    for (int i = 0; i < 1000; ++i) {
+      path.uplink().send(i, Bytes{30000});
+    }
+    (void)sim.run_until(120 * kSecond);
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_ReliableChannelLossy);
+
+}  // namespace

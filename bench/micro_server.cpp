@@ -1,0 +1,70 @@
+// Micro-benchmarks for the edge server: request submission + adaptive
+// batching cost, and a full experiment step as the end-to-end unit.
+
+#include <benchmark/benchmark.h>
+
+#include "ff/core/framefeedback.h"
+
+namespace {
+
+using namespace ff;
+
+void BM_ServerSubmitComplete(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    server::EdgeServer srv(sim, {});
+    std::uint64_t done = 0;
+    for (int i = 0; i < n; ++i) {
+      server::InferenceRequest r;
+      r.request_id = i;
+      srv.submit(std::move(r),
+                 [&](const server::RequestOutcome&) { ++done; });
+    }
+    (void)sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ServerSubmitComplete)->Range(64, 8192);
+
+void BM_LoadedServerSecond(benchmark::State& state) {
+  // One simulated second of a server at 150 req/s.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    server::EdgeServer srv(sim, {});
+    server::LoadGenerator gen(sim, srv,
+                              server::LoadSchedule::constant(Rate{150.0}), {});
+    gen.start();
+    (void)sim.run_until(kSecond);
+    benchmark::DoNotOptimize(srv.stats().requests_completed);
+  }
+}
+BENCHMARK(BM_LoadedServerSecond);
+
+void BM_FullExperimentSecond(benchmark::State& state) {
+  // Cost of one simulated second of the complete stack (1 device,
+  // network, server, controller): the unit of every figure bench.
+  for (auto _ : state) {
+    core::Scenario s = core::Scenario::ideal(kSecond);
+    s.seed = 42;
+    const auto r = core::run_experiment(
+        s, core::make_controller_factory<control::FrameFeedbackController>());
+    benchmark::DoNotOptimize(r.events_executed);
+  }
+}
+BENCHMARK(BM_FullExperimentSecond);
+
+void BM_PaperNetworkScenario(benchmark::State& state) {
+  // The full Fig. 3 reproduction as one benchmark unit (3 devices, 135 s).
+  for (auto _ : state) {
+    core::Scenario s = core::Scenario::paper_network();
+    s.seed = 42;
+    const auto r = core::run_experiment(
+        s, core::make_controller_factory<control::FrameFeedbackController>());
+    benchmark::DoNotOptimize(r.events_executed);
+  }
+}
+BENCHMARK(BM_PaperNetworkScenario)->Unit(benchmark::kMillisecond);
+
+}  // namespace

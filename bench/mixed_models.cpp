@@ -1,0 +1,54 @@
+// Heterogeneous multi-tenancy (paper §IV-C.2: "batch size limits are set
+// per model, so we hit both model types"): three devices run three
+// different models against one GPU. Verifies per-model batching keeps the
+// light model's latency low even while a heavy model shares the GPU, and
+// that each device's controller finds its own sustainable rate.
+
+#include <iostream>
+
+#include "ff/core/framefeedback.h"
+
+int main() {
+  using namespace ff;
+
+  std::cout << "=== Mixed-model multi-tenancy (one GPU, three models) "
+               "===\n\n";
+
+  core::Scenario s = core::Scenario::mixed_models(90 * kSecond);
+  s.seed = 42;
+
+  std::cout << "Device -> model assignment:\n";
+  for (const auto& d : s.devices) {
+    const auto& spec = models::get_model(d.model);
+    std::cout << "  " << d.name << " -> " << spec.name
+              << "  (GPU batch cost " << spec.batch_base_ms << " + "
+              << spec.batch_per_frame_ms << " ms/frame, full-batch capacity "
+              << fmt(models::gpu_throughput(spec, 15), 0) << " fps)\n";
+  }
+
+  const auto r = core::run_experiment(
+      s, core::make_controller_factory<control::FrameFeedbackController>());
+
+  std::cout << "\n";
+  core::print_summary(std::cout, r);
+
+  std::cout << "\nPer-device offload success rate (fps):\n";
+  TextTable table({"device", "model", "steady Po", "offload ok/s", "P (fps)",
+                   "Tl timeouts"});
+  for (std::size_t i = 0; i < r.devices.size(); ++i) {
+    const auto& d = r.devices[i];
+    table.add_row(
+        {d.name, std::string(models::model_name(s.devices[i].model)),
+         fmt(d.series.find("Po_target")->mean_between(30 * kSecond, r.duration), 1),
+         fmt(d.series.find("Po_success")->mean_between(30 * kSecond, r.duration), 1),
+         fmt(d.mean_throughput(), 2),
+         std::to_string(d.totals.timeouts_load)});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nReading: the GPU round-robins per-model batches, so the\n"
+               "cheap MobileNetV3Small stream is not starved by the heavy\n"
+               "EfficientNet batches; each controller independently settles\n"
+               "at what its model's share of the GPU can sustain.\n";
+  return 0;
+}

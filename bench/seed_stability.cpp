@@ -1,0 +1,84 @@
+// Statistical robustness of the headline result: runs the Fig. 3
+// FrameFeedback-vs-all-or-nothing comparison across independent seeds and
+// reports 95% confidence intervals on per-phase throughput and on the
+// headline ratios, so the single-seed figures can be trusted.
+
+#include <iostream>
+
+#include "ff/core/framefeedback.h"
+#include "ff/rt/thread_pool.h"
+
+int main() {
+  using namespace ff;
+
+  constexpr int kSeeds = 8;
+  std::cout << "=== Seed stability: Fig. 3 headline across " << kSeeds
+            << " seeds ===\n\n";
+
+  struct SeedOutcome {
+    std::vector<double> ff_phase_means;
+    std::vector<double> aon_phase_means;
+    double ratio_40;
+    double ratio_90;
+  };
+
+  core::Scenario base = core::Scenario::paper_network();
+
+  const auto outcomes = rt::parallel_map(kSeeds, [&](std::size_t i) {
+    core::Scenario s = base;
+    s.seed = 100 + i;
+    const auto ff = core::run_experiment(
+        s, core::make_controller_factory<control::FrameFeedbackController>());
+    const auto aon = core::run_experiment(
+        s, core::make_controller_factory<control::IntervalOffloadController>());
+    SeedOutcome o;
+    for (const auto& ph : core::phase_means(*ff.devices[0].series.find("P"),
+                                            s.network, ff.duration)) {
+      o.ff_phase_means.push_back(ph.mean);
+    }
+    for (const auto& ph : core::phase_means(*aon.devices[0].series.find("P"),
+                                            s.network, aon.duration)) {
+      o.aon_phase_means.push_back(ph.mean);
+    }
+    o.ratio_40 = core::throughput_ratio(ff.devices[0], aon.devices[0],
+                                        33 * kSecond, 45 * kSecond);
+    o.ratio_90 = core::throughput_ratio(ff.devices[0], aon.devices[0],
+                                        90 * kSecond, ff.duration);
+    return o;
+  });
+
+  const auto& phases = base.network.phases();
+  TextTable table({"phase", "frame-feedback P (95% CI)",
+                   "all-or-nothing P (95% CI)"});
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    std::vector<double> ff_samples, aon_samples;
+    for (const auto& o : outcomes) {
+      ff_samples.push_back(o.ff_phase_means.at(p));
+      aon_samples.push_back(o.aon_phase_means.at(p));
+    }
+    const MeanCi ff_ci = mean_ci(ff_samples);
+    const MeanCi aon_ci = mean_ci(aon_samples);
+    table.add_row({phases[p].label,
+                   fmt(ff_ci.mean, 2) + " +- " + fmt(ff_ci.half_width, 2),
+                   fmt(aon_ci.mean, 2) + " +- " + fmt(aon_ci.half_width, 2)});
+  }
+  std::cout << table.render();
+
+  std::vector<double> r40, r90;
+  for (const auto& o : outcomes) {
+    r40.push_back(o.ratio_40);
+    r90.push_back(o.ratio_90);
+  }
+  const MeanCi ci40 = mean_ci(r40);
+  const MeanCi ci90 = mean_ci(r90);
+  std::cout << "\nHeadline ratio (FF / all-or-nothing), 95% CI over seeds:\n"
+            << "  around t=40s: " << fmt(ci40.mean, 2) << " +- "
+            << fmt(ci40.half_width, 2) << "  [" << fmt(ci40.lo(), 2) << ", "
+            << fmt(ci40.hi(), 2) << "]\n"
+            << "  beyond t=90s: " << fmt(ci90.mean, 2) << " +- "
+            << fmt(ci90.half_width, 2) << "  [" << fmt(ci90.lo(), 2) << ", "
+            << fmt(ci90.hi(), 2) << "]\n"
+            << "\nThe paper's \"50% to 3x\" claim holds if both intervals\n"
+               "stay above 1.0 with means in [1.5, 3].\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared-medium ablation: the paper shapes each Pi's interface with NetEm
+// independently; on real Wi-Fi the devices contend for one channel. Runs
+// the three-device fleet with (a) independent 10 Mbps links (paper's
+// emulation) and (b) one shared 10 Mbps medium, and shows FrameFeedback
+// discovering each device's share of the contended channel.
+
+#include <iostream>
+
+#include "ff/core/framefeedback.h"
+
+int main() {
+  using namespace ff;
+
+  std::cout << "=== Independent links vs one shared wireless medium ===\n\n";
+
+  auto base = [] {
+    core::Scenario s = core::Scenario::paper_network();
+    s.seed = 42;
+    // Constant clean 10 Mbps; the variable under test is sharing, not the
+    // Table V walk.
+    const net::LinkConditions clean{Bandwidth::mbps(10.0), 0.0,
+                                    2 * kMillisecond};
+    s.network = net::NetemSchedule::constant(clean);
+    s.uplink_template.initial = clean;
+    s.downlink_template.initial = clean;
+    for (auto& d : s.devices) d.frame_limit = 0;
+    s.duration = 60 * kSecond;
+    return s;
+  };
+
+  core::Scenario independent = base();
+  core::Scenario shared = base();
+  shared.shared_uplink_medium = true;
+
+  const auto r_ind = core::run_experiment(
+      independent,
+      core::make_controller_factory<control::FrameFeedbackController>());
+  const auto r_shared = core::run_experiment(
+      shared,
+      core::make_controller_factory<control::FrameFeedbackController>());
+
+  const Bytes frame = models::frame_bytes({});
+  const double per_device_demand_mbps =
+      static_cast<double>(frame.count) * 8.0 * 30.0 / 1e6;
+  std::cout << "Per-device demand at 30 fps: "
+            << fmt(per_device_demand_mbps, 1)
+            << " Mbps; three devices need "
+            << fmt(3 * per_device_demand_mbps, 1)
+            << " Mbps but the shared channel carries 10.\n\n";
+
+  TextTable table({"topology", "device", "steady Po", "steady P",
+                   "timeouts"});
+  for (const auto* r : {&r_ind, &r_shared}) {
+    for (const auto& d : r->devices) {
+      table.add_row(
+          {r == &r_ind ? "independent links" : "shared medium", d.name,
+           fmt(d.series.find("Po_target")->mean_between(20 * kSecond,
+                                                        r->duration), 1),
+           fmt(d.series.find("P")->mean_between(20 * kSecond, r->duration), 1),
+           std::to_string(d.totals.timeouts())});
+    }
+  }
+  std::cout << table.render();
+
+  double shared_po_total = 0;
+  for (const auto& d : r_shared.devices) {
+    shared_po_total += d.series.find("Po_success")->mean_between(
+        20 * kSecond, r_shared.duration);
+  }
+  std::cout << "\nAggregate successful offload rate on the shared medium: "
+            << fmt(shared_po_total, 1) << " fps ("
+            << fmt(shared_po_total * frame.count * 8.0 / 1e6, 1)
+            << " Mbps of ~10 available).\n";
+
+  std::cout << "\nReading: with independent links every device offloads all\n"
+               "30 fps. On the shared channel the controllers cannot all\n"
+               "win; each backs off until the aggregate roughly fills the\n"
+               "medium -- distributed congestion control emerging from\n"
+               "per-device feedback alone.\n";
+  return 0;
+}

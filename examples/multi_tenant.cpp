@@ -1,0 +1,70 @@
+// Multi-tenancy walk-through (the paper's §IV-E scenario): background
+// request volume walks Table VI while three Pis try to offload. Shows how
+// FrameFeedback backs off under server saturation and how capacity is
+// shared across heterogeneous devices.
+//
+// Usage: multi_tenant [seed=N] [peak_load=N] [devices=N]
+
+#include <iostream>
+
+#include "ff/core/framefeedback.h"
+#include "ff/util/config.h"
+
+int main(int argc, char** argv) {
+  const ff::Config cfg = ff::Config::from_args(argc, argv);
+
+  ff::core::Scenario scenario = ff::core::Scenario::paper_server_load();
+  scenario.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+  const auto extra_devices = cfg.get_int("devices", 3);
+  while (static_cast<std::int64_t>(scenario.devices.size()) > extra_devices &&
+         scenario.devices.size() > 1) {
+    scenario.devices.pop_back();
+  }
+
+  if (cfg.has("peak_load")) {
+    // Rescale Table VI so its peak equals the requested rate.
+    const double peak = cfg.get_double("peak_load", 150.0);
+    ff::server::LoadSchedule scaled;
+    for (const auto& phase : scenario.background_load.phases()) {
+      scaled.add(phase.start, ff::Rate{phase.rate.per_second * peak / 150.0});
+    }
+    scenario.background_load = scaled;
+  }
+
+  std::cout << "Background load schedule (paper Table VI):\n";
+  for (const auto& phase : scenario.background_load.phases()) {
+    std::cout << "  t=" << ff::sim_to_seconds(phase.start) << "s  "
+              << phase.rate.per_second << " req/s\n";
+  }
+
+  const auto spec =
+      ff::models::get_model(scenario.devices[0].model);
+  std::cout << "\nServer capacity at full batches: "
+            << ff::fmt(ff::models::gpu_throughput(spec, scenario.server.batch_limit), 0)
+            << " fps (" << spec.name << ", batch limit "
+            << scenario.server.batch_limit << ")\n\nRunning...\n\n";
+
+  const auto result = ff::core::run_experiment(
+      scenario,
+      ff::core::make_controller_factory<ff::control::FrameFeedbackController>());
+
+  ff::core::print_summary(std::cout, result);
+
+  for (std::size_t i = 0; i < result.devices.size(); ++i) {
+    const auto& d = result.devices[i];
+    std::cout << "\n" << d.name << "  P:  "
+              << ff::sparkline(*d.series.find("P")) << "\n"
+              << std::string(d.name.size(), ' ') << "  Po: "
+              << ff::sparkline(*d.series.find("Po_target")) << "\n";
+  }
+
+  std::cout << "\nMean P per load phase (device 0):\n";
+  const auto phases = ff::core::phase_means(
+      *result.devices[0].series.find("P"), scenario.background_load,
+      result.duration);
+  for (const auto& p : phases) {
+    std::cout << "  " << p.label << "  ->  " << ff::fmt(p.mean, 2) << " fps\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Network degradation walk-through (the paper's §IV-D scenario): three
+// Pis share a GPU edge server while the network steps through Table V.
+// Compares FrameFeedback against the three baselines and narrates each
+// phase.
+//
+// Usage: network_degradation [seed=N] [bandwidth_unit_mbps=N] [csv=path]
+
+#include <iostream>
+#include <memory>
+
+#include "ff/core/framefeedback.h"
+#include "ff/util/config.h"
+
+namespace {
+
+ff::core::ExperimentResult run_with(
+    const ff::core::Scenario& scenario,
+    ff::core::ControllerFactory factory) {
+  return ff::core::run_experiment(scenario, std::move(factory));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ff::Config cfg = ff::Config::from_args(argc, argv);
+  const double unit = cfg.get_double("bandwidth_unit_mbps", 1.0);
+
+  ff::core::Scenario scenario =
+      ff::core::Scenario::paper_network(ff::Bandwidth::mbps(unit));
+  scenario.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+  std::cout << "Network schedule (paper Table V, x" << unit << " Mbps):\n";
+  for (const auto& phase : scenario.network.phases()) {
+    std::cout << "  t=" << ff::sim_to_seconds(phase.start)
+              << "s  " << phase.label << "\n";
+  }
+  std::cout << "\nRunning 4 controllers over "
+            << ff::sim_to_seconds(scenario.duration) << "s...\n\n";
+
+  const auto ff_run = run_with(
+      scenario,
+      ff::core::make_controller_factory<ff::control::FrameFeedbackController>());
+  const auto local_run = run_with(
+      scenario, ff::core::make_controller_factory<ff::control::LocalOnlyController>());
+  const auto always_run = run_with(
+      scenario,
+      ff::core::make_controller_factory<ff::control::AlwaysOffloadController>());
+  const auto interval_run = run_with(
+      scenario,
+      ff::core::make_controller_factory<ff::control::IntervalOffloadController>());
+
+  ff::core::plot_runs(std::cout, "Fig 3: total inference throughput P (device 0)",
+                      {&ff_run, &local_run, &always_run, &interval_run}, "P");
+
+  std::vector<std::vector<ff::core::PhaseStat>> phase_stats;
+  std::vector<std::string> names;
+  for (const auto* run : {&ff_run, &local_run, &always_run, &interval_run}) {
+    names.push_back(run->devices[0].controller);
+    phase_stats.push_back(ff::core::phase_means(
+        *run->devices[0].series.find("P"), scenario.network, run->duration));
+  }
+  std::cout << "\nMean P (fps) per network phase, device 0:\n";
+  ff::core::print_phase_comparison(std::cout, names, phase_stats);
+
+  std::cout << "\nFrameFeedback run in detail:\n";
+  ff::core::print_summary(std::cout, ff_run);
+
+  if (const auto csv = cfg.get("csv")) {
+    ff::write_bundle_csv(ff_run.devices[0].series, *csv);
+    std::cout << "\nwrote " << *csv << "\n";
+  }
+  return 0;
+}

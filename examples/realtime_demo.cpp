@@ -1,0 +1,69 @@
+// Real-time replay demo: runs the quickstart scenario paced against the
+// wall clock (scaled), printing live controller state once per simulated
+// second -- what you would see on a deployed device's console.
+//
+// Usage: realtime_demo [duration_s=10] [speed=4] [loss_at_s=5]
+
+#include <iomanip>
+#include <iostream>
+
+#include "ff/core/framefeedback.h"
+#include "ff/rt/realtime.h"
+#include "ff/util/config.h"
+
+int main(int argc, char** argv) {
+  const ff::Config cfg = ff::Config::from_args(argc, argv);
+  const double duration_s = cfg.get_double("duration_s", 10.0);
+  const double speed = cfg.get_double("speed", 4.0);
+  const double loss_at_s = cfg.get_double("loss_at_s", 5.0);
+
+  ff::core::Scenario scenario =
+      ff::core::Scenario::ideal(ff::seconds_to_sim(duration_s));
+  scenario.network = ff::net::NetemSchedule::loss_injection(
+      ff::seconds_to_sim(loss_at_s), 0.07, ff::Bandwidth::mbps(10.0));
+  scenario.uplink_template.initial = scenario.network.at(0);
+  scenario.downlink_template.initial = scenario.network.at(0);
+
+  std::cout << "Real-time replay at " << speed << "x: " << duration_s
+            << "s of simulated streaming, 7% loss injected at t="
+            << loss_at_s << "s\n\n"
+            << "  t(s)   Po(target)  P(fps)   T(/s)   cpu%\n";
+
+  ff::core::Experiment experiment(
+      scenario,
+      ff::core::make_controller_factory<ff::control::FrameFeedbackController>());
+
+  ff::rt::RealtimeOptions options;
+  options.time_scale = speed;
+  options.horizon = scenario.duration;
+  options.progress_period = ff::kSecond;
+  options.on_progress = [&](ff::SimTime now) {
+    auto& dev = experiment.device(0);
+    auto& t = dev.telemetry();
+    std::cout << "  " << std::setw(4) << ff::fmt(ff::sim_to_seconds(now), 1)
+              << "   " << std::setw(9) << ff::fmt(dev.offload_rate(), 1)
+              << "   " << std::setw(6) << ff::fmt(t.throughput(now), 1)
+              << "   " << std::setw(5) << ff::fmt(t.timeout_rate(now), 1)
+              << "   " << std::setw(4)
+              << ff::fmt(dev.cpu_utilization() * 100, 0) << "\n";
+  };
+
+  // Start the scenario actors by scheduling through Experiment::run()'s
+  // internals is not possible here; instead drive a fresh run with the
+  // realtime executor: start devices and timers manually.
+  experiment.device(0).start();
+  // The control loop: replicate Experiment's 1 Hz tick.
+  ff::sim::PeriodicTimer control(experiment.simulator(), [&](std::uint64_t) {
+    auto input = experiment.device(0).controller_input();
+    const double po = experiment.controller(0).update(input);
+    experiment.device(0).set_offload_rate(po);
+  });
+  control.start(experiment.controller(0).measure_period(),
+                experiment.controller(0).measure_period());
+
+  const std::uint64_t events =
+      ff::rt::run_realtime(experiment.simulator(), options);
+
+  std::cout << "\nReplay done: " << events << " events executed.\n";
+  return 0;
+}

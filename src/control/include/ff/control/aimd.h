@@ -1,0 +1,38 @@
+#pragma once
+
+// AIMD (additive-increase/multiplicative-decrease) offload controller: a
+// TCP-inspired comparison point beyond the paper's baselines, used by the
+// ablation benches to show what the PD structure buys over the classic
+// congestion-control reflex.
+
+#include "ff/control/controller.h"
+
+namespace ff::control {
+
+struct AimdConfig {
+  double increase_fraction{0.05};   ///< additive step, as a fraction of Fs
+  double decrease_factor{0.5};      ///< multiplicative back-off on timeouts
+  double timeout_tolerance_fraction{0.05};  ///< T below this (of Fs) counts as clean
+  double floor_fraction{0.03};      ///< keep probing at this fraction of Fs
+  SimDuration measure_period{kSecond};
+};
+
+class AimdController final : public Controller {
+ public:
+  explicit AimdController(AimdConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "aimd"; }
+  [[nodiscard]] SimDuration measure_period() const override {
+    return config_.measure_period;
+  }
+  [[nodiscard]] double update(const ControllerInput& input) override;
+  void reset() override;
+
+  [[nodiscard]] const AimdConfig& config() const { return config_; }
+
+ private:
+  AimdConfig config_;
+  double offload_rate_{0.0};
+};
+
+}  // namespace ff::control

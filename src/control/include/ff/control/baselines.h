@@ -1,0 +1,68 @@
+#pragma once
+
+// The paper's baseline controllers (§IV-B): local-only, always-offload,
+// and DeepDecision-style all-or-nothing intervals driven by a heartbeat
+// probe.
+
+#include <algorithm>
+
+#include "ff/control/controller.h"
+
+namespace ff::control {
+
+/// Never offloads (baseline 1).
+class LocalOnlyController final : public Controller {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "local-only"; }
+  [[nodiscard]] double update(const ControllerInput&) override { return 0.0; }
+};
+
+/// Offloads every frame regardless of feedback (baseline 2).
+class AlwaysOffloadController final : public Controller {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "always-offload"; }
+  [[nodiscard]] double update(const ControllerInput& input) override {
+    return input.source_fps;
+  }
+};
+
+/// DeepDecision-style all-or-nothing intervals (baseline 3): each
+/// measurement step, send a heartbeat; if it returned before the deadline,
+/// offload everything in the next interval, else go fully local.
+class IntervalOffloadController final : public Controller {
+ public:
+  explicit IntervalOffloadController(SimDuration measure_period = kSecond)
+      : measure_period_(measure_period) {}
+
+  [[nodiscard]] std::string_view name() const override { return "all-or-nothing"; }
+  [[nodiscard]] SimDuration measure_period() const override { return measure_period_; }
+  [[nodiscard]] bool wants_probe() const override { return true; }
+
+  [[nodiscard]] double update(const ControllerInput& input) override {
+    // Until a probe resolves, stay local (DeepDecision trusts only a
+    // successful profile request).
+    if (input.probe_success.has_value() && *input.probe_success) {
+      return input.source_fps;
+    }
+    return 0.0;
+  }
+
+ private:
+  SimDuration measure_period_;
+};
+
+/// Fixed offload rate (tuning/ablation helper, not in the paper).
+class FixedRateController final : public Controller {
+ public:
+  explicit FixedRateController(double rate) : rate_(rate) {}
+
+  [[nodiscard]] std::string_view name() const override { return "fixed-rate"; }
+  [[nodiscard]] double update(const ControllerInput& input) override {
+    return std::min(rate_, input.source_fps);
+  }
+
+ private:
+  double rate_;
+};
+
+}  // namespace ff::control

@@ -1,0 +1,59 @@
+#pragma once
+
+// Offload-rate controller interface. Once per measurement period (1 s in
+// the paper) the runtime feeds a controller the device's telemetry and it
+// returns the offload-rate target Po for the next period.
+
+#include <optional>
+#include <string_view>
+
+#include "ff/util/units.h"
+
+namespace ff::control {
+
+/// Telemetry snapshot handed to controllers each measurement tick. All
+/// rates are per-second averages over the device's measurement window.
+struct ControllerInput {
+  SimTime now{0};
+  double source_fps{30.0};      ///< Fs
+  double offload_rate{0.0};     ///< current Po target (what we asked for)
+  double timeout_rate{0.0};     ///< T: offloads that missed the deadline or failed
+  double network_timeout_rate{0.0};  ///< Tn component of T
+  double load_timeout_rate{0.0};     ///< Tl component of T
+  double offload_success_rate{0.0};  ///< offload results within deadline, per second
+  double local_rate{0.0};       ///< Pl achieved
+  int frame_quality{85};        ///< JPEG quality currently used for offloads
+  /// Result of the most recent heartbeat probe, when the controller asked
+  /// for probing (DeepDecision-style baselines).
+  std::optional<bool> probe_success{};
+};
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// How often the runtime should call update(). Paper Table IV: 1 s.
+  [[nodiscard]] virtual SimDuration measure_period() const { return kSecond; }
+
+  /// Whether the runtime should issue a heartbeat probe each period and
+  /// report its outcome in ControllerInput::probe_success.
+  [[nodiscard]] virtual bool wants_probe() const { return false; }
+
+  /// Computes the offload-rate target for the next period, in frames/s,
+  /// already clamped to [0, Fs].
+  [[nodiscard]] virtual double update(const ControllerInput& input) = 0;
+
+  /// Optional second actuator (paper §II-D): the JPEG quality the device
+  /// should encode offloaded frames at, decided during the last update().
+  /// Controllers that only set the rate return nullopt (the default).
+  [[nodiscard]] virtual std::optional<int> frame_quality() const {
+    return std::nullopt;
+  }
+
+  /// Clears internal state (error history, integrators).
+  virtual void reset() {}
+};
+
+}  // namespace ff::control

@@ -1,0 +1,49 @@
+#pragma once
+
+// Textbook discrete PID with output clamping, integral anti-windup and
+// optional derivative low-pass filtering (paper §III Eq. 2). The
+// FrameFeedback controller runs this with Ki = 0 (Eq. 3); the full-PID
+// ablation turns Ki back on.
+
+#include "ff/util/units.h"
+
+namespace ff::control {
+
+struct PidConfig {
+  double kp{0.2};
+  double ki{0.0};
+  double kd{0.26};
+  /// Output (control action u) clamp; min <= max required.
+  double output_min{-1e300};
+  double output_max{1e300};
+  /// Integral term clamp (anti-windup); only relevant when ki != 0.
+  double integral_min{-1e300};
+  double integral_max{1e300};
+  /// EWMA smoothing of the derivative term: 1.0 = unfiltered.
+  double derivative_filter_alpha{1.0};
+};
+
+class PidController {
+ public:
+  explicit PidController(PidConfig config);
+
+  /// One control step. `dt` is the time since the previous step in the
+  /// controller's own tick units (the paper uses 1 tick = 1 s). Returns
+  /// the clamped control action u.
+  [[nodiscard]] double step(double error, double dt = 1.0);
+
+  void reset();
+
+  [[nodiscard]] const PidConfig& config() const { return config_; }
+  [[nodiscard]] double integral() const { return integral_; }
+  [[nodiscard]] double last_error() const { return last_error_; }
+
+ private:
+  PidConfig config_;
+  double integral_{0.0};
+  double last_error_{0.0};
+  double filtered_derivative_{0.0};
+  bool has_last_error_{false};
+};
+
+}  // namespace ff::control

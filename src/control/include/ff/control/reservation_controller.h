@@ -1,0 +1,37 @@
+#pragma once
+
+// Client side of the ATOMS-style comparator: each period, declare full
+// demand (Fs) to the reservation manager and offload exactly the granted
+// rate. No feedback from timeouts -- reservations are trusted, which is
+// precisely what the paper argues against for variable networks.
+
+#include "ff/control/controller.h"
+#include "ff/server/reservation.h"
+
+namespace ff::control {
+
+class ReservationController final : public Controller {
+ public:
+  /// `manager` must outlive the controller; `client_id` must be unique
+  /// across controllers sharing a manager.
+  ReservationController(server::ReservationManager& manager,
+                        std::uint64_t client_id,
+                        SimDuration measure_period = kSecond);
+  ~ReservationController() override;
+
+  ReservationController(const ReservationController&) = delete;
+  ReservationController& operator=(const ReservationController&) = delete;
+
+  [[nodiscard]] std::string_view name() const override { return "reservation"; }
+  [[nodiscard]] SimDuration measure_period() const override { return period_; }
+  [[nodiscard]] double update(const ControllerInput& input) override;
+
+  [[nodiscard]] std::uint64_t client_id() const { return client_id_; }
+
+ private:
+  server::ReservationManager& manager_;
+  std::uint64_t client_id_;
+  SimDuration period_;
+};
+
+}  // namespace ff::control

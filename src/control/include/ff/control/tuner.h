@@ -1,0 +1,46 @@
+#pragma once
+
+// Tuning analysis (paper §III-B): quantifies what the paper's Fig. 2 shows
+// qualitatively -- how (Kp, Kd) trade sensitivity against oscillation --
+// by scoring a recorded Po trace for rise time, overshoot, steady-state
+// oscillation and post-disturbance recovery.
+
+#include <vector>
+
+#include "ff/util/time_series.h"
+#include "ff/util/units.h"
+
+namespace ff::control {
+
+/// Metrics of a controller's Po response within one analysis window.
+struct ResponseMetrics {
+  /// Time (s) from window start until the trace first reaches 90% of the
+  /// window's target value; negative when it never does.
+  double rise_time_s{-1.0};
+  /// max(trace) - target, in trace units (0 when never above target).
+  double overshoot{0.0};
+  /// Mean |step| between consecutive samples after the rise (oscillation
+  /// amplitude proxy).
+  double steady_oscillation{0.0};
+  /// Mean value over the steady-state region (after rise).
+  double steady_mean{0.0};
+};
+
+/// Scores `po` between [from, to) against `target` (typically Fs for a
+/// clean-network window, or the sustainable rate after a disturbance).
+[[nodiscard]] ResponseMetrics analyze_response(const TimeSeries& po,
+                                               SimTime from, SimTime to,
+                                               double target);
+
+/// Composite tuning score (lower is better): weighted rise time +
+/// overshoot + oscillation, with non-settling runs heavily penalized.
+/// Mirrors the paper's tuning procedure of raising Kp until oscillation,
+/// then raising Kd to damp it.
+[[nodiscard]] double tuning_score(const ResponseMetrics& metrics);
+
+/// A (Kp, Kd) grid helper for sweep benches: the cross product of the
+/// given gain lists.
+[[nodiscard]] std::vector<std::pair<double, double>> gain_grid(
+    const std::vector<double>& kps, const std::vector<double>& kds);
+
+}  // namespace ff::control

@@ -1,0 +1,22 @@
+#include "ff/control/aimd.h"
+
+#include <algorithm>
+
+namespace ff::control {
+
+AimdController::AimdController(AimdConfig config) : config_(config) {}
+
+double AimdController::update(const ControllerInput& input) {
+  const double fs = input.source_fps;
+  if (input.timeout_rate <= config_.timeout_tolerance_fraction * fs) {
+    offload_rate_ += config_.increase_fraction * fs;
+  } else {
+    offload_rate_ *= config_.decrease_factor;
+  }
+  offload_rate_ = std::clamp(offload_rate_, config_.floor_fraction * fs, fs);
+  return offload_rate_;
+}
+
+void AimdController::reset() { offload_rate_ = 0.0; }
+
+}  // namespace ff::control

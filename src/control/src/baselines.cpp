@@ -1,0 +1,9 @@
+// Baseline controllers are header-only; this TU anchors their vtables so
+// the types have a single home in the library.
+#include "ff/control/baselines.h"
+
+namespace ff::control {
+
+// Intentionally empty.
+
+}  // namespace ff::control

@@ -1,0 +1,51 @@
+#include "ff/control/quality_adapt.h"
+
+#include <stdexcept>
+
+namespace ff::control {
+
+QualityAdaptController::QualityAdaptController(QualityAdaptConfig config)
+    : config_(std::move(config)), rate_controller_(config_.rate) {
+  if (config_.quality_ladder.empty()) {
+    throw std::invalid_argument("QualityAdaptController: empty quality ladder");
+  }
+}
+
+double QualityAdaptController::update(const ControllerInput& input) {
+  const double fs = input.source_fps;
+
+  if (cooldown_ > 0) --cooldown_;
+
+  const bool network_pressure =
+      input.network_timeout_rate > config_.degrade_tn_fraction * fs;
+  const bool clean = input.network_timeout_rate <= 1e-9;
+
+  if (network_pressure) {
+    clean_streak_ = 0;
+    if (cooldown_ == 0 && ladder_index_ + 1 < config_.quality_ladder.size()) {
+      ++ladder_index_;
+      cooldown_ = config_.cooldown_periods;
+    }
+  } else if (clean && input.offload_rate >= config_.upgrade_po_fraction * fs) {
+    ++clean_streak_;
+    if (cooldown_ == 0 && ladder_index_ > 0 &&
+        clean_streak_ >= config_.upgrade_after_clean_periods) {
+      --ladder_index_;
+      clean_streak_ = 0;
+      cooldown_ = config_.cooldown_periods;
+    }
+  } else {
+    clean_streak_ = 0;
+  }
+
+  return rate_controller_.update(input);
+}
+
+void QualityAdaptController::reset() {
+  rate_controller_.reset();
+  ladder_index_ = 0;
+  clean_streak_ = 0;
+  cooldown_ = 0;
+}
+
+}  // namespace ff::control

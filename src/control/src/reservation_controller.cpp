@@ -1,0 +1,21 @@
+#include "ff/control/reservation_controller.h"
+
+#include <algorithm>
+
+namespace ff::control {
+
+ReservationController::ReservationController(
+    server::ReservationManager& manager, std::uint64_t client_id,
+    SimDuration measure_period)
+    : manager_(manager), client_id_(client_id), period_(measure_period) {}
+
+ReservationController::~ReservationController() {
+  manager_.release(client_id_);
+}
+
+double ReservationController::update(const ControllerInput& input) {
+  const double grant = manager_.request(client_id_, input.source_fps);
+  return std::clamp(grant, 0.0, input.source_fps);
+}
+
+}  // namespace ff::control

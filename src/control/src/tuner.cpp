@@ -1,0 +1,62 @@
+#include "ff/control/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ff::control {
+
+ResponseMetrics analyze_response(const TimeSeries& po, SimTime from, SimTime to,
+                                 double target) {
+  ResponseMetrics m;
+  const double threshold = 0.9 * target;
+
+  SimTime rise_at = -1;
+  double peak = -1e300;
+  for (const auto& p : po.points()) {
+    if (p.time < from || p.time >= to) continue;
+    peak = std::max(peak, p.value);
+    if (rise_at < 0 && p.value >= threshold) rise_at = p.time;
+  }
+  if (rise_at >= 0) m.rise_time_s = sim_to_seconds(rise_at - from);
+  if (peak > target) m.overshoot = peak - target;
+
+  // Steady region: from the rise point (or the window midpoint when the
+  // trace never rose) to the window end.
+  const SimTime steady_from = rise_at >= 0 ? rise_at : (from + to) / 2;
+  double prev = 0.0;
+  bool have_prev = false;
+  std::size_t steps = 0;
+  double step_sum = 0.0;
+  StreamingStats steady;
+  for (const auto& p : po.points()) {
+    if (p.time < steady_from || p.time >= to) continue;
+    steady.add(p.value);
+    if (have_prev) {
+      step_sum += std::abs(p.value - prev);
+      ++steps;
+    }
+    prev = p.value;
+    have_prev = true;
+  }
+  if (steps > 0) m.steady_oscillation = step_sum / static_cast<double>(steps);
+  m.steady_mean = steady.mean();
+  return m;
+}
+
+double tuning_score(const ResponseMetrics& metrics) {
+  // Never rising dominates everything else.
+  const double rise = metrics.rise_time_s < 0 ? 1e3 : metrics.rise_time_s;
+  return rise + 4.0 * metrics.overshoot + 8.0 * metrics.steady_oscillation;
+}
+
+std::vector<std::pair<double, double>> gain_grid(const std::vector<double>& kps,
+                                                 const std::vector<double>& kds) {
+  std::vector<std::pair<double, double>> grid;
+  grid.reserve(kps.size() * kds.size());
+  for (const double kp : kps) {
+    for (const double kd : kds) grid.emplace_back(kp, kd);
+  }
+  return grid;
+}
+
+}  // namespace ff::control

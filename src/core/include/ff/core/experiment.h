@@ -1,0 +1,127 @@
+#pragma once
+
+// Experiment runner: instantiates a scenario on the DES kernel, attaches a
+// controller to every device, runs it, and returns per-device time series
+// plus summary statistics -- the raw material of every figure and table.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ff/control/controller.h"
+#include "ff/core/networked_transport.h"
+#include "ff/core/scenario.h"
+#include "ff/device/edge_device.h"
+#include "ff/net/shared_medium.h"
+#include "ff/net/transport.h"
+#include "ff/server/edge_server.h"
+#include "ff/server/load_generator.h"
+#include "ff/sim/simulator.h"
+#include "ff/sim/timer.h"
+#include "ff/util/time_series.h"
+
+namespace ff::core {
+
+/// Produces a fresh controller per device; called once per device at
+/// experiment construction.
+using ControllerFactory =
+    std::function<std::unique_ptr<control::Controller>(std::size_t device_index)>;
+
+/// Convenience: same controller type with the same settings everywhere.
+template <class C, class... Args>
+[[nodiscard]] ControllerFactory make_controller_factory(Args... args) {
+  return [=](std::size_t) { return std::make_unique<C>(args...); };
+}
+
+struct DeviceResult {
+  std::string name;
+  std::string controller;
+  device::TelemetryTotals totals{};
+  device::OffloadClientStats offload{};
+  net::ChannelStats uplink{};
+  SeriesBundle series;  ///< "P", "Pl", "Po_*", "T", "Tn", "Tl", "cpu",
+                        ///< "quality", "accuracy", "power_w"
+  double energy_joules{0.0};  ///< integrated electrical draw over the run
+
+  /// Fraction of captured frames that produced a result within deadline.
+  [[nodiscard]] double goodput_fraction() const;
+
+  /// Mean successful inference rate over the run (from the P series).
+  [[nodiscard]] double mean_throughput() const;
+
+  /// Joules per successful inference (energy efficiency of the policy).
+  [[nodiscard]] double joules_per_inference() const;
+};
+
+struct ExperimentResult {
+  std::string scenario;
+  std::uint64_t seed{0};
+  SimTime duration{0};
+  std::uint64_t events_executed{0};
+  std::vector<DeviceResult> devices;
+  server::ServerStats server{};
+  double server_gpu_utilization{0.0};
+
+  /// Aggregate mean throughput across devices.
+  [[nodiscard]] double total_mean_throughput() const;
+
+  [[nodiscard]] const DeviceResult& device(std::size_t i) const {
+    return devices.at(i);
+  }
+};
+
+class Experiment {
+ public:
+  Experiment(Scenario scenario, ControllerFactory controllers);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Runs to the scenario horizon and collects results. Callable once.
+  [[nodiscard]] ExperimentResult run();
+
+  /// Access to live objects between construction and run(), for tests and
+  /// custom instrumentation.
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  [[nodiscard]] server::EdgeServer& server() { return *server_; }
+  [[nodiscard]] device::EdgeDevice& device(std::size_t i) { return *rigs_.at(i)->device; }
+  [[nodiscard]] control::Controller& controller(std::size_t i) {
+    return *rigs_.at(i)->controller;
+  }
+  [[nodiscard]] NetworkedOffloadTransport& transport(std::size_t i) {
+    return *rigs_.at(i)->transport;
+  }
+  [[nodiscard]] std::size_t device_count() const { return rigs_.size(); }
+
+ private:
+  struct DeviceRig {
+    std::unique_ptr<NetworkedOffloadTransport> transport;
+    std::unique_ptr<device::EdgeDevice> device;
+    std::unique_ptr<control::Controller> controller;
+    std::unique_ptr<sim::PeriodicTimer> control_timer;
+    SeriesBundle series;
+    models::EnergyMeter energy;
+  };
+
+  void build();
+  void control_tick(DeviceRig& rig);
+  void sample_tick();
+
+  Scenario scenario_;
+  ControllerFactory factory_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<server::EdgeServer> server_;
+  std::unique_ptr<server::LoadGenerator> load_;
+  std::unique_ptr<net::SharedMedium> uplink_medium_;
+  std::vector<std::unique_ptr<DeviceRig>> rigs_;
+  std::unique_ptr<sim::PeriodicTimer> sample_timer_;
+  bool ran_{false};
+};
+
+/// One-call convenience wrapper.
+[[nodiscard]] ExperimentResult run_experiment(Scenario scenario,
+                                              ControllerFactory controllers);
+
+}  // namespace ff::core

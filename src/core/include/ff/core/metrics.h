@@ -1,0 +1,57 @@
+#pragma once
+
+// Post-run analysis: per-phase summaries aligned with the scenario's
+// network/load schedules, and QoS roll-ups used by the benches' summary
+// rows (e.g. the paper's "FrameFeedback beats all-or-nothing by 50%-3x
+// under intermediate conditions" claim).
+
+#include <string>
+#include <vector>
+
+#include "ff/core/experiment.h"
+#include "ff/net/netem.h"
+#include "ff/server/load_generator.h"
+#include "ff/util/time_series.h"
+
+namespace ff::core {
+
+struct PhaseStat {
+  std::string label;
+  SimTime from{0};
+  SimTime to{0};
+  double mean{0.0};
+  double stddev{0.0};
+};
+
+/// Mean of `series` within each phase of a network schedule. `end` bounds
+/// the final phase. `settle` trims this many microseconds from the start
+/// of each phase (controller reaction time).
+[[nodiscard]] std::vector<PhaseStat> phase_means(const TimeSeries& series,
+                                                 const net::NetemSchedule& schedule,
+                                                 SimTime end,
+                                                 SimDuration settle = 3 * kSecond);
+
+/// Mean of `series` within each phase of a load schedule.
+[[nodiscard]] std::vector<PhaseStat> phase_means(const TimeSeries& series,
+                                                 const server::LoadSchedule& schedule,
+                                                 SimTime end,
+                                                 SimDuration settle = 3 * kSecond);
+
+/// QoS roll-up for one device run.
+struct QosSummary {
+  double mean_throughput{0.0};      ///< mean of the P series
+  double goodput_fraction{0.0};     ///< successes / captured frames
+  double timeout_fraction{0.0};     ///< timeouts / offload attempts
+  double mean_offload_latency_ms{0.0};
+  double mean_cpu_utilization{0.0};
+};
+
+[[nodiscard]] QosSummary summarize(const DeviceResult& device);
+
+/// Ratio of mean throughputs of two runs within [from, to); used for the
+/// paper's head-to-head claims. Returns 0 when the denominator is ~0.
+[[nodiscard]] double throughput_ratio(const DeviceResult& numerator,
+                                      const DeviceResult& denominator,
+                                      SimTime from, SimTime to);
+
+}  // namespace ff::core

@@ -1,0 +1,39 @@
+#pragma once
+
+// Human-readable reporting for the bench binaries: experiment summaries,
+// phase tables and figure-shaped ASCII plots.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ff/core/experiment.h"
+#include "ff/core/metrics.h"
+
+namespace ff::core {
+
+/// Prints the per-device QoS summary and server stats of one run.
+void print_summary(std::ostream& os, const ExperimentResult& result);
+
+/// Prints a phase-by-phase comparison table: one row per phase, one column
+/// per named run, using each run's device 0 "P" series.
+void print_phase_comparison(std::ostream& os,
+                            const std::vector<std::string>& run_names,
+                            const std::vector<std::vector<PhaseStat>>& phase_stats);
+
+/// Plots one named series from device `device_index` of several runs on a
+/// shared axis (the figure reproductions).
+void plot_runs(std::ostream& os, const std::string& title,
+               const std::vector<const ExperimentResult*>& runs,
+               const std::string& series_name, std::size_t device_index = 0,
+               double y_max = -1.0);
+
+/// Same, but with explicit legend labels (for comparing runs that share a
+/// controller, e.g. across scenarios).
+void plot_runs_labeled(std::ostream& os, const std::string& title,
+                       const std::vector<const ExperimentResult*>& runs,
+                       const std::vector<std::string>& labels,
+                       const std::string& series_name,
+                       std::size_t device_index = 0, double y_max = -1.0);
+
+}  // namespace ff::core

@@ -1,0 +1,86 @@
+#pragma once
+
+// A scenario is everything an experiment needs except the controller:
+// devices, network schedule, server configuration and background load.
+// Factory functions encode the paper's experimental setups.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ff/device/edge_device.h"
+#include "ff/net/netem.h"
+#include "ff/net/transport.h"
+#include "ff/server/edge_server.h"
+#include "ff/server/load_generator.h"
+
+namespace ff::core {
+
+struct Scenario {
+  std::string name{"scenario"};
+  std::uint64_t seed{42};
+  SimDuration duration{135 * kSecond};
+
+  /// One entry per concurrently streaming device.
+  std::vector<device::DeviceConfig> devices;
+
+  /// Network conditions applied to every device's path.
+  net::NetemSchedule network{net::NetemSchedule::constant({})};
+  net::LinkConfig uplink_template{};
+  net::LinkConfig downlink_template{};
+  net::TransportConfig transport{};
+  /// When true, all device uplinks contend on one shared wireless medium
+  /// (a single AP) instead of independently shaped interfaces.
+  bool shared_uplink_medium{false};
+
+  server::ServerConfig server{};
+  server::LoadSchedule background_load{};
+  server::LoadGeneratorConfig background{};
+
+  /// Cadence of the recorded time series (figures sample at 1 Hz).
+  SimDuration sample_period{kSecond};
+
+  /// --- Paper setups -------------------------------------------------
+
+  /// §IV-D / Fig. 3: three Pis streaming 4000 frames at 30 fps while the
+  /// network walks Table V. `bandwidth_unit` scales the table's 10/4/1
+  /// figures (defaults to Mbps; see DESIGN.md).
+  [[nodiscard]] static Scenario paper_network(
+      Bandwidth bandwidth_unit = Bandwidth::mbps(1.0));
+
+  /// §IV-E / Fig. 4: same devices on a clean network while background
+  /// request volume walks Table VI.
+  [[nodiscard]] static Scenario paper_server_load();
+
+  /// §III-B / Fig. 2: a single device under a clean network with 7% packet
+  /// loss injected at t = 27 s, for controller-gain sweeps.
+  [[nodiscard]] static Scenario paper_tuning();
+
+  /// §IV-C "Combined Network and Server Measurements": both the Table V
+  /// network schedule and the Table VI load schedule at once -- the
+  /// experiment the paper mentions but omits for space.
+  [[nodiscard]] static Scenario paper_combined(
+      Bandwidth bandwidth_unit = Bandwidth::mbps(1.0));
+
+  /// Heterogeneous multi-tenancy: the three Pis run different models
+  /// (MobileNetV3Small / Large, EfficientNetB0), exercising the per-model
+  /// batch queues ("we hit both model types", §IV-C.2).
+  [[nodiscard]] static Scenario mixed_models(SimDuration duration = 60 * kSecond);
+
+  /// A quiet single-device scenario for quickstarts and tests.
+  [[nodiscard]] static Scenario ideal(SimDuration duration = 30 * kSecond);
+
+  /// --- Helpers -------------------------------------------------------
+
+  /// Appends a device with per-index naming; returns its index.
+  std::size_t add_device(device::DeviceConfig config);
+
+  /// Applies one frame spec to all devices.
+  void set_frame_spec(const models::FrameSpec& spec);
+};
+
+/// The three Raspberry Pis from paper Table II, streaming MobileNetV3Small
+/// at 30 fps with a 4000-frame limit.
+[[nodiscard]] std::vector<device::DeviceConfig> paper_device_trio();
+
+}  // namespace ff::core

@@ -1,0 +1,52 @@
+#include "ff/core/autotune.h"
+
+#include <stdexcept>
+
+#include "ff/control/frame_feedback.h"
+#include "ff/core/experiment.h"
+#include "ff/rt/thread_pool.h"
+
+namespace ff::core {
+
+AutoTuneResult auto_tune(const AutoTuneConfig& config) {
+  if (config.kp_grid.empty() || config.kd_grid.empty()) {
+    throw std::invalid_argument("auto_tune: empty gain grid");
+  }
+  if (config.scenario.devices.size() != 1) {
+    throw std::invalid_argument("auto_tune: scenario must have one device");
+  }
+
+  const auto grid = control::gain_grid(config.kp_grid, config.kd_grid);
+  const double fs = config.scenario.devices[0].source_fps;
+
+  auto evaluate = [&](std::size_t i) {
+    control::FrameFeedbackConfig c;
+    c.kp = grid[i].first;
+    c.kd = grid[i].second;
+    const auto result = run_experiment(
+        config.scenario,
+        make_controller_factory<control::FrameFeedbackController>(c));
+    const TimeSeries& po = *result.devices[0].series.find("Po_target");
+
+    GainScore g;
+    g.kp = c.kp;
+    g.kd = c.kd;
+    g.clean = control::analyze_response(po, 0, config.disturbance_at, fs);
+    g.disturbed = control::analyze_response(po, config.disturbance_at,
+                                            result.duration, fs);
+    g.mean_throughput = result.devices[0].mean_throughput();
+    g.score = control::tuning_score(g.clean) +
+              config.disturbance_weight * g.disturbed.steady_oscillation;
+    return g;
+  };
+
+  AutoTuneResult out;
+  out.all = rt::parallel_map(grid.size(), evaluate, config.threads);
+  out.best = out.all.front();
+  for (const auto& g : out.all) {
+    if (g.score < out.best.score) out.best = g;
+  }
+  return out;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,178 @@
+#include "ff/core/experiment.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ff::core {
+
+double DeviceResult::goodput_fraction() const {
+  if (totals.frames_captured == 0) return 0.0;
+  return static_cast<double>(totals.successes()) /
+         static_cast<double>(totals.frames_captured);
+}
+
+double DeviceResult::mean_throughput() const {
+  const TimeSeries* p = series.find("P");
+  if (!p || p->empty()) return 0.0;
+  return p->stats().mean();
+}
+
+double DeviceResult::joules_per_inference() const {
+  if (totals.successes() == 0) return 0.0;
+  return energy_joules / static_cast<double>(totals.successes());
+}
+
+double ExperimentResult::total_mean_throughput() const {
+  double sum = 0.0;
+  for (const auto& d : devices) sum += d.mean_throughput();
+  return sum;
+}
+
+Experiment::Experiment(Scenario scenario, ControllerFactory controllers)
+    : scenario_(std::move(scenario)), factory_(std::move(controllers)) {
+  if (scenario_.devices.empty()) {
+    throw std::invalid_argument("Experiment: scenario has no devices");
+  }
+  build();
+}
+
+Experiment::~Experiment() = default;
+
+void Experiment::build() {
+  sim_ = std::make_unique<sim::Simulator>(scenario_.seed);
+  server_ = std::make_unique<server::EdgeServer>(*sim_, scenario_.server);
+
+  if (!scenario_.background_load.empty()) {
+    load_ = std::make_unique<server::LoadGenerator>(
+        *sim_, *server_, scenario_.background_load, scenario_.background);
+  }
+
+  if (scenario_.shared_uplink_medium) {
+    uplink_medium_ = std::make_unique<net::SharedMedium>("uplink-ap");
+  }
+
+  std::vector<net::Link*> shaped_links;
+  for (std::size_t i = 0; i < scenario_.devices.size(); ++i) {
+    const auto& dconf = scenario_.devices[i];
+    auto rig = std::make_unique<DeviceRig>();
+
+    NetworkedTransportConfig tconf;
+    tconf.name = dconf.name;
+    tconf.client_id = i + 1;
+    tconf.model = dconf.model;
+    tconf.uplink = scenario_.uplink_template;
+    tconf.uplink.name = dconf.name + "/up";
+    tconf.downlink = scenario_.downlink_template;
+    tconf.downlink.name = dconf.name + "/down";
+    tconf.transport = scenario_.transport;
+    rig->transport = std::make_unique<NetworkedOffloadTransport>(
+        *sim_, *server_, std::move(tconf));
+
+    for (net::Link* link : rig->transport->path().links()) {
+      shaped_links.push_back(link);
+    }
+    if (uplink_medium_) {
+      rig->transport->path().forward_link().attach_medium(uplink_medium_.get());
+    }
+
+    rig->device =
+        std::make_unique<device::EdgeDevice>(*sim_, *rig->transport, dconf);
+    rig->controller = factory_(i);
+    if (!rig->controller) {
+      throw std::invalid_argument("Experiment: controller factory returned null");
+    }
+
+    DeviceRig* raw = rig.get();
+    rig->control_timer = std::make_unique<sim::PeriodicTimer>(
+        *sim_, [this, raw](std::uint64_t) { control_tick(*raw); });
+    rigs_.push_back(std::move(rig));
+  }
+
+  scenario_.network.apply(*sim_, std::move(shaped_links));
+
+  sample_timer_ = std::make_unique<sim::PeriodicTimer>(
+      *sim_, [this](std::uint64_t) { sample_tick(); });
+}
+
+void Experiment::control_tick(DeviceRig& rig) {
+  device::EdgeDevice& dev = *rig.device;
+  control::Controller& ctl = *rig.controller;
+
+  control::ControllerInput input = dev.controller_input();
+  if (ctl.wants_probe()) {
+    input.probe_success = dev.take_probe_result();
+  }
+  const double po = ctl.update(input);
+  dev.set_offload_rate(po);
+  if (const auto quality = ctl.frame_quality()) {
+    dev.set_frame_quality(*quality);
+  }
+  if (ctl.wants_probe()) dev.send_probe();
+}
+
+void Experiment::sample_tick() {
+  const SimTime now = sim_->now();
+  for (auto& rig : rigs_) {
+    device::EdgeDevice& dev = *rig->device;
+    device::Telemetry& t = dev.telemetry();
+    rig->series.series("P").record(now, t.throughput(now));
+    rig->series.series("Pl").record(now, t.local_rate(now));
+    rig->series.series("Po_target").record(now, dev.offload_rate());
+    rig->series.series("Po_achieved").record(now, t.offload_attempt_rate(now));
+    rig->series.series("Po_success").record(now, t.offload_success_rate(now));
+    rig->series.series("T").record(now, t.timeout_rate(now));
+    rig->series.series("Tn").record(now, t.network_timeout_rate(now));
+    rig->series.series("Tl").record(now, t.load_timeout_rate(now));
+    rig->series.series("cpu").record(now, dev.cpu_utilization());
+    rig->series.series("quality").record(now, dev.frame_spec().jpeg_quality);
+    rig->series.series("accuracy").record(now, dev.effective_accuracy());
+    const double power = dev.power_draw_w();
+    rig->series.series("power_w").record(now, power);
+    rig->energy.accumulate(power, scenario_.sample_period);
+  }
+}
+
+ExperimentResult Experiment::run() {
+  if (ran_) throw std::logic_error("Experiment::run called twice");
+  ran_ = true;
+
+  for (auto& rig : rigs_) {
+    rig->device->start();
+    rig->control_timer->start(rig->controller->measure_period(),
+                              rig->controller->measure_period());
+  }
+  if (load_) load_->start();
+  // Offset sampling half a period after control ticks so each sample sees
+  // the period's settled state.
+  sample_timer_->start(scenario_.sample_period, scenario_.sample_period / 2);
+
+  sim_->run_until(scenario_.duration);
+
+  ExperimentResult result;
+  result.scenario = scenario_.name;
+  result.seed = scenario_.seed;
+  result.duration = sim_->now();
+  result.events_executed = sim_->events_executed();
+  result.server = server_->stats();
+  result.server_gpu_utilization = server_->gpu_utilization();
+
+  for (auto& rig : rigs_) {
+    DeviceResult d;
+    d.name = rig->device->config().name;
+    d.controller = std::string(rig->controller->name());
+    d.totals = rig->device->telemetry().totals();
+    d.offload = rig->device->offload_client().stats();
+    d.uplink = rig->transport->uplink_stats();
+    d.energy_joules = rig->energy.joules();
+    d.series = std::move(rig->series);
+    result.devices.push_back(std::move(d));
+  }
+  return result;
+}
+
+ExperimentResult run_experiment(Scenario scenario, ControllerFactory controllers) {
+  Experiment e(std::move(scenario), std::move(controllers));
+  return e.run();
+}
+
+}  // namespace ff::core

@@ -1,0 +1,84 @@
+#include "ff/core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ff::core {
+namespace {
+
+[[nodiscard]] PhaseStat make_phase_stat(const TimeSeries& series,
+                                        std::string label, SimTime from,
+                                        SimTime to, SimDuration settle) {
+  PhaseStat stat;
+  stat.label = std::move(label);
+  stat.from = from;
+  stat.to = to;
+  const SimTime measured_from = std::min<SimTime>(from + settle, to);
+  const auto stats = series.stats_between(measured_from, to);
+  stat.mean = stats.mean();
+  stat.stddev = stats.stddev();
+  return stat;
+}
+
+}  // namespace
+
+std::vector<PhaseStat> phase_means(const TimeSeries& series,
+                                   const net::NetemSchedule& schedule,
+                                   SimTime end, SimDuration settle) {
+  std::vector<PhaseStat> out;
+  const auto& phases = schedule.phases();
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const SimTime from = phases[i].start;
+    const SimTime to = i + 1 < phases.size() ? phases[i + 1].start : end;
+    if (to <= from) continue;
+    out.push_back(make_phase_stat(series, phases[i].label, from, to, settle));
+  }
+  return out;
+}
+
+std::vector<PhaseStat> phase_means(const TimeSeries& series,
+                                   const server::LoadSchedule& schedule,
+                                   SimTime end, SimDuration settle) {
+  std::vector<PhaseStat> out;
+  const auto& phases = schedule.phases();
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const SimTime from = phases[i].start;
+    const SimTime to = i + 1 < phases.size() ? phases[i + 1].start : end;
+    if (to <= from) continue;
+    out.push_back(make_phase_stat(
+        series, std::to_string(static_cast<int>(phases[i].rate.per_second)) + " req/s",
+        from, to, settle));
+  }
+  return out;
+}
+
+QosSummary summarize(const DeviceResult& device) {
+  QosSummary q;
+  q.mean_throughput = device.mean_throughput();
+  q.goodput_fraction = device.goodput_fraction();
+  const auto& t = device.totals;
+  if (t.offload_attempts > 0) {
+    q.timeout_fraction = static_cast<double>(t.timeouts()) /
+                         static_cast<double>(t.offload_attempts);
+  }
+  if (const TimeSeries* cpu = device.series.find("cpu"); cpu && !cpu->empty()) {
+    q.mean_cpu_utilization = cpu->stats().mean();
+  }
+  if (!device.offload.latency_us.empty()) {
+    q.mean_offload_latency_ms = device.offload.latency_us.mean() / 1000.0;
+  }
+  return q;
+}
+
+double throughput_ratio(const DeviceResult& numerator,
+                        const DeviceResult& denominator, SimTime from,
+                        SimTime to) {
+  const TimeSeries* pn = numerator.series.find("P");
+  const TimeSeries* pd = denominator.series.find("P");
+  if (!pn || !pd) return 0.0;
+  const double denom = pd->mean_between(from, to);
+  if (std::abs(denom) < 1e-9) return 0.0;
+  return pn->mean_between(from, to) / denom;
+}
+
+}  // namespace ff::core

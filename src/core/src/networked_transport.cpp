@@ -1,0 +1,57 @@
+#include "ff/core/networked_transport.h"
+
+#include <utility>
+
+namespace ff::core {
+namespace {
+
+/// Bit 62 of a downlink message id marks a rejection notice.
+constexpr std::uint64_t kRejectBit = 1ULL << 62;
+
+}  // namespace
+
+NetworkedOffloadTransport::NetworkedOffloadTransport(
+    sim::Simulator& sim, server::EdgeServer& server,
+    NetworkedTransportConfig config)
+    : sim_(sim),
+      server_(server),
+      config_(std::move(config)),
+      path_(sim, config_.uplink, config_.downlink, config_.transport,
+            config_.name) {
+  // Server side: a fully reassembled frame becomes an inference request;
+  // its outcome is shipped back as a (small) downlink message.
+  path_.uplink().set_on_message([this](std::uint64_t id, Bytes payload) {
+    server::InferenceRequest req;
+    req.request_id = id;
+    req.client_id = config_.client_id;
+    req.model = config_.model;
+    req.payload = payload;
+    server_.submit(std::move(req), [this](const server::RequestOutcome& outcome) {
+      const bool rejected =
+          outcome.status == server::RequestStatus::kRejected;
+      const std::uint64_t response_id =
+          outcome.request.request_id | (rejected ? kRejectBit : 0);
+      path_.downlink().send(response_id, Bytes{models::kResultBytes});
+    });
+  });
+
+  // Device side: decode the rejection bit and hand the response up.
+  path_.downlink().set_on_message([this](std::uint64_t id, Bytes) {
+    if (on_response_) on_response_(id & ~kRejectBit, (id & kRejectBit) != 0);
+  });
+
+  // A failed uplink send means the frame never (fully) reached the server.
+  path_.uplink().set_on_send_result([this](std::uint64_t id, bool success) {
+    if (!success && on_failure_) on_failure_(id);
+  });
+}
+
+void NetworkedOffloadTransport::offload(std::uint64_t id, Bytes payload) {
+  uplink().send(id, payload);
+}
+
+void NetworkedOffloadTransport::cancel(std::uint64_t id) {
+  uplink().cancel(id);
+}
+
+}  // namespace ff::core

@@ -1,0 +1,115 @@
+#include "ff/core/scenario.h"
+
+namespace ff::core {
+namespace {
+
+[[nodiscard]] device::DeviceConfig make_pi(std::string name,
+                                           models::DeviceId profile) {
+  device::DeviceConfig d;
+  d.name = std::move(name);
+  d.profile = profile;
+  d.model = models::ModelId::kMobileNetV3Small;
+  d.source_fps = 30.0;
+  d.frame_limit = 4000;
+  return d;
+}
+
+}  // namespace
+
+std::vector<device::DeviceConfig> paper_device_trio() {
+  return {
+      make_pi("pi4b_r14", models::DeviceId::kPi4BR14),
+      make_pi("pi4b_r12", models::DeviceId::kPi4BR12),
+      make_pi("pi3b", models::DeviceId::kPi3B),
+  };
+}
+
+std::size_t Scenario::add_device(device::DeviceConfig config) {
+  devices.push_back(std::move(config));
+  return devices.size() - 1;
+}
+
+void Scenario::set_frame_spec(const models::FrameSpec& spec) {
+  for (auto& d : devices) d.frame = spec;
+}
+
+Scenario Scenario::paper_network(Bandwidth bandwidth_unit) {
+  Scenario s;
+  s.name = "paper-network";
+  s.duration = 135 * kSecond;  // 4000 frames at 30 fps + settle
+  s.devices = paper_device_trio();
+  s.network = net::NetemSchedule::paper_table_v(bandwidth_unit);
+  s.uplink_template.initial = s.network.at(0);
+  s.downlink_template.initial = s.network.at(0);
+  return s;
+}
+
+Scenario Scenario::paper_server_load() {
+  Scenario s;
+  s.name = "paper-server-load";
+  s.duration = 135 * kSecond;
+  s.devices = paper_device_trio();
+  const net::LinkConditions clean{Bandwidth::mbps(10.0), 0.0, 2 * kMillisecond};
+  s.network = net::NetemSchedule::constant(clean);
+  s.uplink_template.initial = clean;
+  s.downlink_template.initial = clean;
+  s.background_load = server::LoadSchedule::paper_table_vi();
+  s.background.model = models::ModelId::kMobileNetV3Small;
+  s.background.payload = models::frame_bytes({});
+  return s;
+}
+
+Scenario Scenario::paper_tuning() {
+  Scenario s;
+  s.name = "paper-tuning";
+  s.duration = 60 * kSecond;
+  device::DeviceConfig d = make_pi("pi4b_r14", models::DeviceId::kPi4BR14);
+  d.frame_limit = 0;  // stream for the whole window
+  s.devices = {d};
+  s.network = net::NetemSchedule::loss_injection(27 * kSecond, 0.07,
+                                                 Bandwidth::mbps(10.0));
+  s.uplink_template.initial = s.network.at(0);
+  s.downlink_template.initial = s.network.at(0);
+  return s;
+}
+
+Scenario Scenario::paper_combined(Bandwidth bandwidth_unit) {
+  Scenario s = paper_network(bandwidth_unit);
+  s.name = "paper-combined";
+  s.background_load = server::LoadSchedule::paper_table_vi();
+  s.background.model = models::ModelId::kMobileNetV3Small;
+  s.background.payload = models::frame_bytes({});
+  return s;
+}
+
+Scenario Scenario::mixed_models(SimDuration duration) {
+  Scenario s;
+  s.name = "mixed-models";
+  s.duration = duration;
+  s.devices = paper_device_trio();
+  s.devices[0].model = models::ModelId::kMobileNetV3Small;
+  s.devices[1].model = models::ModelId::kMobileNetV3Large;
+  s.devices[2].model = models::ModelId::kEfficientNetB0;
+  for (auto& d : s.devices) d.frame_limit = 0;
+  const net::LinkConditions clean{Bandwidth::mbps(10.0), 0.0, 2 * kMillisecond};
+  s.network = net::NetemSchedule::constant(clean);
+  s.uplink_template.initial = clean;
+  s.downlink_template.initial = clean;
+  return s;
+}
+
+Scenario Scenario::ideal(SimDuration duration) {
+  Scenario s;
+  s.name = "ideal";
+  s.duration = duration;
+  device::DeviceConfig d = make_pi("device", models::DeviceId::kPi4BR12);
+  d.frame_limit = 0;
+  s.devices = {d};
+  const net::LinkConditions clean{Bandwidth::mbps(50.0), 0.0, kMillisecond};
+  s.network = net::NetemSchedule::constant(clean);
+  s.uplink_template.initial = clean;
+  s.downlink_template.initial = clean;
+  return s;
+}
+
+}  // namespace ff::core

@@ -1,0 +1,155 @@
+#include "ff/core/scenario_config.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "ff/control/aimd.h"
+#include "ff/control/baselines.h"
+#include "ff/control/frame_feedback.h"
+#include "ff/control/quality_adapt.h"
+#include "ff/control/reservation_controller.h"
+#include "ff/models/model_spec.h"
+#include "ff/server/reservation.h"
+
+namespace ff::core {
+namespace {
+
+[[nodiscard]] Scenario base_scenario(const std::string& name,
+                                     const Config& config) {
+  const auto unit =
+      Bandwidth::mbps(config.get_double("bandwidth_unit_mbps", 1.0));
+  if (name == "ideal") return Scenario::ideal();
+  if (name == "paper_network") return Scenario::paper_network(unit);
+  if (name == "paper_server_load") return Scenario::paper_server_load();
+  if (name == "paper_tuning") return Scenario::paper_tuning();
+  if (name == "paper_combined") return Scenario::paper_combined(unit);
+  if (name == "mixed_models") return Scenario::mixed_models();
+  throw std::invalid_argument("unknown scenario '" + name + "'; known: " +
+                              known_scenario_names());
+}
+
+}  // namespace
+
+std::string known_scenario_names() {
+  return "ideal, paper_network, paper_server_load, paper_tuning, "
+         "paper_combined, mixed_models";
+}
+
+std::string known_controller_names() {
+  return "frame-feedback, local-only, always-offload, all-or-nothing, aimd, "
+         "quality-adapt, fixed, reservation";
+}
+
+Scenario scenario_from_config(const Config& config) {
+  Scenario s =
+      base_scenario(config.get_string("scenario", "ideal"), config);
+
+  s.seed = static_cast<std::uint64_t>(config.get_int("seed", s.seed));
+  if (config.has("duration_s")) {
+    s.duration = seconds_to_sim(config.get_double("duration_s", 0));
+  }
+  s.shared_uplink_medium = config.get_bool("shared_medium", s.shared_uplink_medium);
+
+  // Device overrides apply to every device; `devices` replicates the
+  // first device to the requested count.
+  if (config.has("devices")) {
+    const auto n = static_cast<std::size_t>(
+        std::max<std::int64_t>(config.get_int("devices", 1), 1));
+    const device::DeviceConfig proto = s.devices.at(0);
+    s.devices.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      device::DeviceConfig d = proto;
+      d.name = proto.name + "-" + std::to_string(i);
+      s.devices.push_back(std::move(d));
+    }
+  }
+  for (auto& d : s.devices) {
+    if (const auto p = config.get("device.profile")) {
+      d.profile = models::parse_device(*p);
+    }
+    if (const auto m = config.get("device.model")) {
+      d.model = models::parse_model(*m);
+    }
+    d.source_fps = config.get_double("device.fps", d.source_fps);
+    if (config.has("device.deadline_ms")) {
+      d.deadline = seconds_to_sim(config.get_double("device.deadline_ms", 250) / 1000.0);
+    }
+    d.frame_limit = static_cast<std::uint64_t>(
+        config.get_int("device.frame_limit", static_cast<std::int64_t>(d.frame_limit)));
+    d.frame.width = static_cast<int>(config.get_int("device.width", d.frame.width));
+    d.frame.height = static_cast<int>(config.get_int("device.height", d.frame.height));
+    d.frame.jpeg_quality =
+        static_cast<int>(config.get_int("device.quality", d.frame.jpeg_quality));
+  }
+
+  // Constant network override.
+  if (config.has("net.bandwidth_mbps") || config.has("net.loss") ||
+      config.has("net.delay_ms")) {
+    net::LinkConditions c;
+    c.bandwidth = Bandwidth::mbps(config.get_double("net.bandwidth_mbps", 10.0));
+    c.loss_probability = config.get_double("net.loss", 0.0);
+    c.propagation_delay = seconds_to_sim(config.get_double("net.delay_ms", 2.0) / 1000.0);
+    s.network = net::NetemSchedule::constant(c);
+    s.uplink_template.initial = c;
+    s.downlink_template.initial = c;
+  }
+
+  if (config.has("load.rate")) {
+    s.background_load =
+        server::LoadSchedule::constant(Rate{config.get_double("load.rate", 0.0)});
+    s.background.payload = models::frame_bytes({});
+  }
+
+  return s;
+}
+
+ControllerFactory controller_factory_from_config(const Config& config) {
+  const std::string name = config.get_string("controller", "frame-feedback");
+
+  if (name == "frame-feedback" || name == "quality-adapt") {
+    control::FrameFeedbackConfig ff;
+    ff.kp = config.get_double("controller.kp", ff.kp);
+    ff.kd = config.get_double("controller.kd", ff.kd);
+    ff.ki = config.get_double("controller.ki", ff.ki);
+    if (name == "frame-feedback") {
+      return make_controller_factory<control::FrameFeedbackController>(ff);
+    }
+    control::QualityAdaptConfig qa;
+    qa.rate = ff;
+    return make_controller_factory<control::QualityAdaptController>(qa);
+  }
+  if (name == "local-only") {
+    return make_controller_factory<control::LocalOnlyController>();
+  }
+  if (name == "always-offload") {
+    return make_controller_factory<control::AlwaysOffloadController>();
+  }
+  if (name == "all-or-nothing") {
+    return make_controller_factory<control::IntervalOffloadController>();
+  }
+  if (name == "aimd") {
+    return make_controller_factory<control::AimdController>();
+  }
+  if (name == "fixed") {
+    const double rate = config.get_double("controller.rate", 15.0);
+    return make_controller_factory<control::FixedRateController>(rate);
+  }
+  if (name == "reservation") {
+    server::ReservationConfig rc;
+    rc.capacity_fps = config.get_double(
+        "controller.capacity_fps",
+        models::gpu_throughput(
+            models::get_model(models::ModelId::kMobileNetV3Small), 15));
+    // The manager is shared by all of one experiment's controllers and
+    // owned by the factory closure.
+    auto manager = std::make_shared<server::ReservationManager>(rc);
+    return [manager](std::size_t device_index) {
+      return std::make_unique<control::ReservationController>(
+          *manager, device_index + 1);
+    };
+  }
+  throw std::invalid_argument("unknown controller '" + name + "'; known: " +
+                              known_controller_names());
+}
+
+}  // namespace ff::core

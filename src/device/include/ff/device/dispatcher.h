@@ -1,0 +1,53 @@
+#pragma once
+
+// Frame router: realizes a fractional offload rate Po out of the integer
+// stream of frames using error diffusion (a Bresenham accumulator), so the
+// achieved split converges to Po/Fs with the lowest possible variance.
+
+#include <algorithm>
+
+namespace ff::device {
+
+enum class Route { kLocal, kOffload };
+
+class Dispatcher {
+ public:
+  Dispatcher(double source_fps, double offload_rate = 0.0)
+      : source_fps_(source_fps) {
+    set_offload_rate(offload_rate);
+  }
+
+  /// Sets the offload-rate target Po (frames/s, clamped to [0, Fs]).
+  void set_offload_rate(double rate) {
+    offload_rate_ = std::clamp(rate, 0.0, source_fps_);
+  }
+
+  void set_source_fps(double fps) {
+    source_fps_ = fps;
+    set_offload_rate(offload_rate_);
+  }
+
+  [[nodiscard]] double offload_rate() const { return offload_rate_; }
+  [[nodiscard]] double source_fps() const { return source_fps_; }
+
+  /// Routes the next frame. Error diffusion: carry the fractional offload
+  /// quota between frames so e.g. Po = Fs/3 yields exactly every 3rd frame.
+  [[nodiscard]] Route route_next() {
+    if (source_fps_ <= 0.0) return Route::kLocal;
+    accumulator_ += offload_rate_ / source_fps_;
+    if (accumulator_ >= 1.0 - 1e-12) {
+      accumulator_ -= 1.0;
+      return Route::kOffload;
+    }
+    return Route::kLocal;
+  }
+
+  void reset() { accumulator_ = 0.0; }
+
+ private:
+  double source_fps_;
+  double offload_rate_{0.0};
+  double accumulator_{0.0};
+};
+
+}  // namespace ff::device

@@ -1,0 +1,121 @@
+#pragma once
+
+// The composed edge device: camera -> dispatcher -> {local engine, offload
+// client}, plus telemetry. A controller runtime (core::Experiment) reads
+// controller_input() each period and writes set_offload_rate().
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ff/control/controller.h"
+#include "ff/device/dispatcher.h"
+#include "ff/device/frame_trace.h"
+#include "ff/device/frame_source.h"
+#include "ff/device/local_engine.h"
+#include "ff/device/offload_client.h"
+#include "ff/device/offload_transport.h"
+#include "ff/device/telemetry.h"
+#include "ff/models/device_profile.h"
+#include "ff/models/frame.h"
+#include "ff/models/power.h"
+#include "ff/sim/simulator.h"
+
+namespace ff::device {
+
+struct DeviceConfig {
+  std::string name{"device"};
+  models::DeviceId profile{models::DeviceId::kPi4BR12};
+  models::ModelId model{models::ModelId::kMobileNetV3Small};
+  models::FrameSpec frame{};
+  double source_fps{30.0};
+  std::uint64_t frame_limit{0};            ///< 0 = unlimited; paper uses 4000
+  SimDuration deadline{250 * kMillisecond};
+  std::size_t local_queue_capacity{2};
+  SimDuration telemetry_window{2 * kSecond};
+  double local_jitter_sigma{0.08};
+  double capture_jitter_fraction{0.0};
+  /// Nominal Wi-Fi PHY rate used to estimate radio airtime for the power
+  /// model (the radio transmits at PHY rate even when the shaped goodput
+  /// is lower).
+  Bandwidth radio_phy_rate{Bandwidth::mbps(20.0)};
+};
+
+class EdgeDevice {
+ public:
+  /// `sim` and `transport` must outlive the device.
+  EdgeDevice(sim::Simulator& sim, OffloadTransport& transport,
+             DeviceConfig config);
+
+  EdgeDevice(const EdgeDevice&) = delete;
+  EdgeDevice& operator=(const EdgeDevice&) = delete;
+
+  /// Begins capturing frames.
+  void start();
+  void stop();
+
+  /// Sets the offload-rate target Po (frames/s), as decided by a controller.
+  void set_offload_rate(double rate);
+  [[nodiscard]] double offload_rate() const { return dispatcher_.offload_rate(); }
+
+  /// Changes the JPEG quality used for subsequently offloaded frames
+  /// (quality-adapting controllers); recomputes the per-frame payload.
+  void set_frame_quality(int quality);
+  [[nodiscard]] const models::FrameSpec& frame_spec() const {
+    return config_.frame;
+  }
+
+  /// Effective top-1 accuracy of results at the current frame spec.
+  [[nodiscard]] double effective_accuracy() const;
+
+  /// Assembles the controller's telemetry snapshot for the current time.
+  [[nodiscard]] control::ControllerInput controller_input();
+
+  /// Issues a heartbeat probe; the outcome becomes available to
+  /// take_probe_result() once resolved.
+  void send_probe();
+
+  /// Consumes the most recent resolved probe outcome, if any.
+  [[nodiscard]] std::optional<bool> take_probe_result();
+
+  /// Device CPU utilization model (paper §II-A: ~50% local, ~22% offload).
+  [[nodiscard]] double cpu_utilization();
+
+  /// Instantaneous electrical draw in watts, from the power model fed by
+  /// current CPU utilization and estimated radio airtime.
+  [[nodiscard]] double power_draw_w();
+
+  [[nodiscard]] Telemetry& telemetry() { return telemetry_; }
+  [[nodiscard]] const DeviceConfig& config() const { return config_; }
+  [[nodiscard]] const OffloadClient& offload_client() const { return offload_; }
+  [[nodiscard]] const LocalEngine& local_engine() const { return local_; }
+  [[nodiscard]] std::uint64_t frames_captured() const { return source_.frames_emitted(); }
+  [[nodiscard]] bool finished() const {
+    return config_.frame_limit > 0 &&
+           source_.frames_emitted() >= config_.frame_limit;
+  }
+
+  /// Per-frame payload size implied by the frame spec.
+  [[nodiscard]] Bytes frame_payload() const { return frame_payload_; }
+
+  /// Attaches a frame-lifecycle tracer to the device and its offload
+  /// client (nullptr detaches). Not owned; must outlive tracing.
+  void attach_tracer(FrameTracer* tracer);
+
+ private:
+  void on_frame(std::uint64_t index, SimTime t);
+
+  sim::Simulator& sim_;
+  DeviceConfig config_;
+  Bytes frame_payload_;
+  Telemetry telemetry_;
+  Dispatcher dispatcher_;
+  LocalEngine local_;
+  OffloadClient offload_;
+  FrameSource source_;
+  std::uint64_t next_probe_id_;
+  std::optional<bool> probe_result_;
+  FrameTracer* tracer_{nullptr};
+};
+
+}  // namespace ff::device

@@ -1,0 +1,69 @@
+#pragma once
+
+// Per-frame lifecycle tracing: every frame's path through the device
+// (captured -> routed -> completed/dropped/timed out) in a bounded ring,
+// exportable as CSV. Debugging aid for controller/transport interactions;
+// zero cost when no tracer is attached.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ff/util/units.h"
+
+namespace ff::device {
+
+enum class FrameEvent : std::uint8_t {
+  kCaptured,
+  kRoutedLocal,
+  kRoutedOffload,
+  kLocalCompleted,
+  kLocalDropped,
+  kOffloadSent,
+  kOffloadSuccess,
+  kTimeoutNetwork,
+  kTimeoutLoad,
+};
+
+[[nodiscard]] std::string_view frame_event_name(FrameEvent event);
+
+struct FrameTraceRecord {
+  SimTime time{0};
+  std::uint64_t frame_id{0};
+  FrameEvent event{FrameEvent::kCaptured};
+};
+
+class FrameTracer {
+ public:
+  /// Retains the most recent `capacity` records.
+  explicit FrameTracer(std::size_t capacity = 1 << 16);
+
+  void record(SimTime time, std::uint64_t frame_id, FrameEvent event);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] const std::deque<FrameTraceRecord>& records() const {
+    return records_;
+  }
+
+  /// All retained records of one frame, in order.
+  [[nodiscard]] std::vector<FrameTraceRecord> lifecycle(
+      std::uint64_t frame_id) const;
+
+  /// Retained records matching one event kind.
+  [[nodiscard]] std::size_t count(FrameEvent event) const;
+
+  /// Writes retained records as CSV: time_s,frame,event.
+  void write_csv(const std::string& path) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<FrameTraceRecord> records_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace ff::device

@@ -1,0 +1,97 @@
+#pragma once
+
+// Pipelined offloading with per-frame deadline supervision. Every offloaded
+// frame resolves exactly one way:
+//   - response (not rejected) before the deadline  -> offload success
+//   - response flagged rejected before the deadline-> load timeout  (Tl)
+//   - transport failure, or deadline expiry        -> network timeout (Tn)
+// Late responses after the deadline are ignored (already counted as Tn).
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "ff/device/frame_trace.h"
+#include "ff/device/offload_transport.h"
+#include "ff/device/telemetry.h"
+#include "ff/sim/simulator.h"
+#include "ff/util/stats.h"
+
+namespace ff::device {
+
+struct OffloadClientConfig {
+  /// Maximum tolerable end-to-end offload latency L (paper: 250 ms),
+  /// measured from frame capture.
+  SimDuration deadline{250 * kMillisecond};
+};
+
+struct OffloadClientStats {
+  std::uint64_t attempts{0};
+  std::uint64_t successes{0};
+  std::uint64_t timeouts_network{0};
+  std::uint64_t timeouts_load{0};
+  std::uint64_t late_responses{0};  ///< arrived after being counted as Tn
+  std::uint64_t probes_sent{0};
+  std::uint64_t probes_ok{0};
+  std::uint64_t probes_failed{0};
+  /// End-to-end latency (us, capture -> response) of successful offloads.
+  StreamingStats latency_us{};
+  P2Quantile latency_p50{0.5};
+  P2Quantile latency_p95{0.95};
+  P2Quantile latency_p99{0.99};
+};
+
+class OffloadClient {
+ public:
+  using ProbeFn = std::function<void(bool success)>;
+
+  /// `transport` and `telemetry` must outlive the client. The client
+  /// installs itself as the transport's response/failure handler.
+  OffloadClient(sim::Simulator& sim, OffloadTransport& transport,
+                Telemetry& telemetry, OffloadClientConfig config);
+
+  OffloadClient(const OffloadClient&) = delete;
+  OffloadClient& operator=(const OffloadClient&) = delete;
+
+  /// Ships a frame captured at `capture_time`; the deadline clock started
+  /// at capture.
+  void offload_frame(std::uint64_t frame_id, SimTime capture_time, Bytes payload);
+
+  /// Sends a heartbeat probe (same path as a frame, same deadline);
+  /// `on_done(success)` fires exactly once. Probe outcomes do not touch
+  /// the P/T telemetry.
+  void send_probe(std::uint64_t probe_id, Bytes payload, ProbeFn on_done);
+
+  [[nodiscard]] const OffloadClientStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size() + probes_.size(); }
+  [[nodiscard]] const OffloadClientConfig& config() const { return config_; }
+
+  /// Attaches a lifecycle tracer (nullptr detaches). Not owned.
+  void attach_tracer(FrameTracer* tracer) { tracer_ = tracer; }
+
+ private:
+  struct PendingFrame {
+    SimTime capture_time;
+    sim::EventId deadline_event;
+  };
+
+  struct PendingProbe {
+    ProbeFn on_done;
+    sim::EventId deadline_event;
+  };
+
+  void handle_response(std::uint64_t id, bool rejected);
+  void handle_failure(std::uint64_t id);
+  void handle_deadline(std::uint64_t id);
+
+  sim::Simulator& sim_;
+  OffloadTransport& transport_;
+  Telemetry& telemetry_;
+  OffloadClientConfig config_;
+  std::unordered_map<std::uint64_t, PendingFrame> pending_;
+  std::unordered_map<std::uint64_t, PendingProbe> probes_;
+  OffloadClientStats stats_;
+  FrameTracer* tracer_{nullptr};
+};
+
+}  // namespace ff::device

@@ -1,0 +1,37 @@
+#pragma once
+
+// Boundary between the edge device and the outside world. The production
+// implementation (core::NetworkedOffloadTransport) routes frames through
+// the network emulator to the edge server; tests substitute fakes.
+
+#include <cstdint>
+#include <functional>
+
+#include "ff/util/units.h"
+
+namespace ff::device {
+
+class OffloadTransport {
+ public:
+  /// Response for frame `id`; `rejected` = the server refused it at batch
+  /// formation (load shedding).
+  using ResponseFn = std::function<void(std::uint64_t id, bool rejected)>;
+  /// The transport gave up delivering frame `id` (retry budget exhausted).
+  using FailureFn = std::function<void(std::uint64_t id)>;
+
+  virtual ~OffloadTransport() = default;
+
+  /// Ships one encoded frame toward the server. Exactly one of the
+  /// response/failure callbacks eventually fires unless cancel() is called
+  /// first.
+  virtual void offload(std::uint64_t id, Bytes payload) = 0;
+
+  /// Stops work on a frame (its deadline passed). Responses for cancelled
+  /// ids may still arrive and must be tolerated by the receiver.
+  virtual void cancel(std::uint64_t id) = 0;
+
+  virtual void set_on_response(ResponseFn fn) = 0;
+  virtual void set_on_failure(FailureFn fn) = 0;
+};
+
+}  // namespace ff::device

@@ -1,0 +1,76 @@
+#pragma once
+
+// Device-side measurement: everything the controller sees (Table I's P,
+// Pl, Po, T, Tn, Tl) computed as rates over a trailing window -- the paper
+// feeds the controller "the average of T from the last few seconds".
+
+#include <cstdint>
+
+#include "ff/util/sliding_window.h"
+#include "ff/util/units.h"
+
+namespace ff::device {
+
+struct TelemetryTotals {
+  std::uint64_t frames_captured{0};
+  std::uint64_t local_completions{0};
+  std::uint64_t local_drops{0};
+  std::uint64_t offload_attempts{0};
+  std::uint64_t offload_successes{0};
+  std::uint64_t timeouts_network{0};  ///< Tn events
+  std::uint64_t timeouts_load{0};     ///< Tl events
+
+  [[nodiscard]] std::uint64_t timeouts() const {
+    return timeouts_network + timeouts_load;
+  }
+  [[nodiscard]] std::uint64_t successes() const {
+    return local_completions + offload_successes;
+  }
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(SimDuration window = 2 * kSecond);
+
+  void record_frame_captured(SimTime t);
+  void record_local_completion(SimTime t);
+  void record_local_drop(SimTime t);
+  void record_offload_attempt(SimTime t);
+  void record_offload_success(SimTime t, SimDuration latency);
+  void record_timeout_network(SimTime t);
+  void record_timeout_load(SimTime t);
+
+  /// Pl: local completions per second over the window.
+  [[nodiscard]] double local_rate(SimTime now);
+  /// Successful offloads per second over the window.
+  [[nodiscard]] double offload_success_rate(SimTime now);
+  /// Offload attempts per second over the window (achieved Po).
+  [[nodiscard]] double offload_attempt_rate(SimTime now);
+  /// T: timeouts per second over the window (Tn + Tl).
+  [[nodiscard]] double timeout_rate(SimTime now);
+  [[nodiscard]] double network_timeout_rate(SimTime now);
+  [[nodiscard]] double load_timeout_rate(SimTime now);
+  /// P: total successful inference rate (local + offload successes).
+  [[nodiscard]] double throughput(SimTime now);
+  /// Capture rate over the window (should track Fs).
+  [[nodiscard]] double capture_rate(SimTime now);
+
+  /// Mean end-to-end latency (us) of successful offloads in the window.
+  [[nodiscard]] double mean_offload_latency_us(SimTime now);
+
+  [[nodiscard]] const TelemetryTotals& totals() const { return totals_; }
+  [[nodiscard]] SimDuration window() const { return window_; }
+
+ private:
+  SimDuration window_;
+  TelemetryTotals totals_;
+  SlidingWindowCounter captured_;
+  SlidingWindowCounter local_done_;
+  SlidingWindowCounter offload_attempted_;
+  SlidingWindowCounter offload_done_;
+  SlidingWindowCounter timeouts_net_;
+  SlidingWindowCounter timeouts_load_;
+  SlidingWindowMean offload_latency_;
+};
+
+}  // namespace ff::device

@@ -1,0 +1,143 @@
+#include "ff/device/edge_device.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ff::device {
+namespace {
+
+/// Probe ids live far above any frame index so the transport can share one
+/// id space.
+constexpr std::uint64_t kProbeIdBase = 1ULL << 48;
+
+}  // namespace
+
+EdgeDevice::EdgeDevice(sim::Simulator& sim, OffloadTransport& transport,
+                       DeviceConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      frame_payload_(models::frame_bytes(config_.frame)),
+      telemetry_(config_.telemetry_window),
+      dispatcher_(config_.source_fps, 0.0),
+      local_(sim,
+             models::LocalLatencyModel(models::get_device(config_.profile),
+                                       config_.model,
+                                       sim.make_rng(config_.name + "/local"),
+                                       config_.local_jitter_sigma),
+             LocalEngineConfig{config_.local_queue_capacity},
+             [this](std::uint64_t frame_id, SimTime) {
+               telemetry_.record_local_completion(sim_.now());
+               if (tracer_) {
+                 tracer_->record(sim_.now(), frame_id,
+                                 FrameEvent::kLocalCompleted);
+               }
+             }),
+      offload_(sim, transport, telemetry_,
+               OffloadClientConfig{config_.deadline}),
+      source_(sim,
+              FrameSourceConfig{Rate{config_.source_fps}, config_.frame_limit,
+                                config_.capture_jitter_fraction},
+              [this](std::uint64_t index, SimTime t) { on_frame(index, t); },
+              sim.make_rng(config_.name + "/camera")),
+      next_probe_id_(kProbeIdBase) {}
+
+void EdgeDevice::start() { source_.start(); }
+
+void EdgeDevice::stop() { source_.stop(); }
+
+void EdgeDevice::set_offload_rate(double rate) {
+  dispatcher_.set_offload_rate(rate);
+}
+
+void EdgeDevice::set_frame_quality(int quality) {
+  config_.frame.jpeg_quality = std::clamp(quality, 1, 100);
+  frame_payload_ = models::frame_bytes(config_.frame);
+}
+
+double EdgeDevice::effective_accuracy() const {
+  return models::effective_accuracy(models::get_model(config_.model),
+                                    config_.frame);
+}
+
+void EdgeDevice::attach_tracer(FrameTracer* tracer) {
+  tracer_ = tracer;
+  offload_.attach_tracer(tracer);
+}
+
+void EdgeDevice::on_frame(std::uint64_t index, SimTime t) {
+  telemetry_.record_frame_captured(t);
+  if (tracer_) tracer_->record(t, index, FrameEvent::kCaptured);
+  const Route route = dispatcher_.route_next();
+  if (route == Route::kOffload) {
+    if (tracer_) tracer_->record(t, index, FrameEvent::kRoutedOffload);
+    // JPEG encoding happens on-device before transmission; the deadline
+    // clock is already running.
+    const SimDuration encode = models::encode_time(config_.frame);
+    sim_.schedule_in(encode, [this, index, t] {
+      offload_.offload_frame(index, t, frame_payload_);
+    });
+  } else {
+    if (tracer_) tracer_->record(t, index, FrameEvent::kRoutedLocal);
+    if (!local_.submit(index, t)) {
+      telemetry_.record_local_drop(t);
+      if (tracer_) tracer_->record(t, index, FrameEvent::kLocalDropped);
+    }
+  }
+}
+
+control::ControllerInput EdgeDevice::controller_input() {
+  const SimTime now = sim_.now();
+  control::ControllerInput in;
+  in.now = now;
+  in.source_fps = config_.source_fps;
+  in.offload_rate = dispatcher_.offload_rate();
+  in.timeout_rate = telemetry_.timeout_rate(now);
+  in.network_timeout_rate = telemetry_.network_timeout_rate(now);
+  in.load_timeout_rate = telemetry_.load_timeout_rate(now);
+  in.offload_success_rate = telemetry_.offload_success_rate(now);
+  in.local_rate = telemetry_.local_rate(now);
+  in.frame_quality = config_.frame.jpeg_quality;
+  in.probe_success = probe_result_;
+  return in;
+}
+
+void EdgeDevice::send_probe() {
+  const std::uint64_t id = next_probe_id_++;
+  offload_.send_probe(id, frame_payload_, [this](bool ok) {
+    probe_result_ = ok;
+  });
+}
+
+std::optional<bool> EdgeDevice::take_probe_result() {
+  const std::optional<bool> r = probe_result_;
+  probe_result_.reset();
+  return r;
+}
+
+double EdgeDevice::power_draw_w() {
+  const SimTime now = sim_.now();
+  const models::PowerProfile profile =
+      models::default_power_profile(config_.profile);
+  // Airtime estimate: frames/s * on-air time per frame at the PHY rate.
+  const double tx_per_frame_s = sim_to_seconds(
+      config_.radio_phy_rate.serialization_time(frame_payload_));
+  const double tx_fraction =
+      telemetry_.offload_attempt_rate(now) * tx_per_frame_s;
+  const double rx_per_result_s = sim_to_seconds(
+      config_.radio_phy_rate.serialization_time(Bytes{models::kResultBytes}));
+  const double rx_fraction =
+      telemetry_.offload_success_rate(now) * rx_per_result_s;
+  return models::power_draw_w(profile, cpu_utilization(), tx_fraction,
+                              rx_fraction);
+}
+
+double EdgeDevice::cpu_utilization() {
+  const SimTime now = sim_.now();
+  const double local_busy =
+      telemetry_.local_rate(now) / std::max(local_.service_rate(), 1e-9);
+  const double offload_fraction =
+      telemetry_.offload_attempt_rate(now) / std::max(config_.source_fps, 1e-9);
+  return models::device_cpu_utilization(local_busy, offload_fraction);
+}
+
+}  // namespace ff::device

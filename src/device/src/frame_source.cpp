@@ -1,0 +1,46 @@
+#include "ff/device/frame_source.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ff::device {
+
+FrameSource::FrameSource(sim::Simulator& sim, FrameSourceConfig config,
+                         FrameFn on_frame, Rng rng)
+    : sim_(sim), config_(config), on_frame_(std::move(on_frame)), rng_(rng) {}
+
+void FrameSource::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void FrameSource::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = {};
+}
+
+void FrameSource::arm() {
+  SimDuration gap = config_.fps.period();
+  if (config_.jitter_fraction > 0.0) {
+    const double j = config_.jitter_fraction * static_cast<double>(gap);
+    const double jitter = rng_.uniform(-j, j);
+    gap = std::max<SimDuration>(gap + static_cast<SimDuration>(jitter), 1);
+  }
+  pending_ = sim_.schedule_in(gap, [this] { emit(); });
+}
+
+void FrameSource::emit() {
+  if (!running_) return;
+  const std::uint64_t index = emitted_++;
+  if (config_.frame_limit > 0 && emitted_ >= config_.frame_limit) {
+    running_ = false;
+  } else {
+    arm();
+  }
+  on_frame_(index, sim_.now());
+}
+
+}  // namespace ff::device

@@ -1,0 +1,65 @@
+#include "ff/device/frame_trace.h"
+
+#include "ff/util/csv.h"
+
+namespace ff::device {
+
+std::string_view frame_event_name(FrameEvent event) {
+  switch (event) {
+    case FrameEvent::kCaptured: return "captured";
+    case FrameEvent::kRoutedLocal: return "routed_local";
+    case FrameEvent::kRoutedOffload: return "routed_offload";
+    case FrameEvent::kLocalCompleted: return "local_completed";
+    case FrameEvent::kLocalDropped: return "local_dropped";
+    case FrameEvent::kOffloadSent: return "offload_sent";
+    case FrameEvent::kOffloadSuccess: return "offload_success";
+    case FrameEvent::kTimeoutNetwork: return "timeout_network";
+    case FrameEvent::kTimeoutLoad: return "timeout_load";
+  }
+  return "?";
+}
+
+FrameTracer::FrameTracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void FrameTracer::record(SimTime time, std::uint64_t frame_id,
+                         FrameEvent event) {
+  ++total_;
+  records_.push_back({time, frame_id, event});
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+std::vector<FrameTraceRecord> FrameTracer::lifecycle(
+    std::uint64_t frame_id) const {
+  std::vector<FrameTraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.frame_id == frame_id) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t FrameTracer::count(FrameEvent event) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.event == event) ++n;
+  }
+  return n;
+}
+
+void FrameTracer::write_csv(const std::string& path) const {
+  CsvWriter w(path);
+  w.header({"time_s", "frame", "event"});
+  for (const auto& r : records_) {
+    w.field(sim_to_seconds(r.time))
+        .field(r.frame_id)
+        .field(frame_event_name(r.event));
+    w.end_row();
+  }
+}
+
+void FrameTracer::clear() {
+  records_.clear();
+  total_ = 0;
+}
+
+}  // namespace ff::device

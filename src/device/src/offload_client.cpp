@@ -1,0 +1,116 @@
+#include "ff/device/offload_client.h"
+
+#include <utility>
+
+#include "ff/util/logging.h"
+
+namespace ff::device {
+
+OffloadClient::OffloadClient(sim::Simulator& sim, OffloadTransport& transport,
+                             Telemetry& telemetry, OffloadClientConfig config)
+    : sim_(sim), transport_(transport), telemetry_(telemetry), config_(config) {
+  transport_.set_on_response(
+      [this](std::uint64_t id, bool rejected) { handle_response(id, rejected); });
+  transport_.set_on_failure([this](std::uint64_t id) { handle_failure(id); });
+}
+
+void OffloadClient::offload_frame(std::uint64_t frame_id, SimTime capture_time,
+                                  Bytes payload) {
+  ++stats_.attempts;
+  telemetry_.record_offload_attempt(sim_.now());
+
+  // Deadline is anchored at capture, not at send: encode time already
+  // consumed part of the budget.
+  if (tracer_) tracer_->record(sim_.now(), frame_id, FrameEvent::kOffloadSent);
+  const SimTime deadline_at = capture_time + config_.deadline;
+  const sim::EventId ev = sim_.schedule_at(
+      deadline_at, [this, frame_id] { handle_deadline(frame_id); });
+  pending_.emplace(frame_id, PendingFrame{capture_time, ev});
+  transport_.offload(frame_id, payload);
+}
+
+void OffloadClient::send_probe(std::uint64_t probe_id, Bytes payload,
+                               ProbeFn on_done) {
+  ++stats_.probes_sent;
+  const sim::EventId ev = sim_.schedule_in(config_.deadline, [this, probe_id] {
+    const auto it = probes_.find(probe_id);
+    if (it == probes_.end()) return;
+    ProbeFn fn = std::move(it->second.on_done);
+    probes_.erase(it);
+    transport_.cancel(probe_id);
+    ++stats_.probes_failed;
+    fn(false);
+  });
+  probes_.emplace(probe_id, PendingProbe{std::move(on_done), ev});
+  transport_.offload(probe_id, payload);
+}
+
+void OffloadClient::handle_response(std::uint64_t id, bool rejected) {
+  const SimTime now = sim_.now();
+
+  if (const auto pit = probes_.find(id); pit != probes_.end()) {
+    sim_.cancel(pit->second.deadline_event);
+    ProbeFn fn = std::move(pit->second.on_done);
+    probes_.erase(pit);
+    const bool ok = !rejected;
+    ok ? ++stats_.probes_ok : ++stats_.probes_failed;
+    fn(ok);
+    return;
+  }
+
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    ++stats_.late_responses;
+    return;
+  }
+  sim_.cancel(it->second.deadline_event);
+  const SimTime capture_time = it->second.capture_time;
+  pending_.erase(it);
+
+  if (rejected) {
+    ++stats_.timeouts_load;
+    telemetry_.record_timeout_load(now);
+    if (tracer_) tracer_->record(now, id, FrameEvent::kTimeoutLoad);
+    FF_TRACE("offload") << "frame " << id << " rejected by server";
+  } else {
+    ++stats_.successes;
+    const auto latency = static_cast<double>(now - capture_time);
+    stats_.latency_us.add(latency);
+    stats_.latency_p50.add(latency);
+    stats_.latency_p95.add(latency);
+    stats_.latency_p99.add(latency);
+    telemetry_.record_offload_success(now, now - capture_time);
+    if (tracer_) tracer_->record(now, id, FrameEvent::kOffloadSuccess);
+  }
+}
+
+void OffloadClient::handle_failure(std::uint64_t id) {
+  if (const auto pit = probes_.find(id); pit != probes_.end()) {
+    sim_.cancel(pit->second.deadline_event);
+    ProbeFn fn = std::move(pit->second.on_done);
+    probes_.erase(pit);
+    ++stats_.probes_failed;
+    fn(false);
+    return;
+  }
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  sim_.cancel(it->second.deadline_event);
+  pending_.erase(it);
+  ++stats_.timeouts_network;
+  telemetry_.record_timeout_network(sim_.now());
+  if (tracer_) tracer_->record(sim_.now(), id, FrameEvent::kTimeoutNetwork);
+}
+
+void OffloadClient::handle_deadline(std::uint64_t id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  pending_.erase(it);
+  transport_.cancel(id);
+  ++stats_.timeouts_network;
+  telemetry_.record_timeout_network(sim_.now());
+  if (tracer_) tracer_->record(sim_.now(), id, FrameEvent::kTimeoutNetwork);
+  FF_TRACE("offload") << "frame " << id << " missed deadline";
+}
+
+}  // namespace ff::device

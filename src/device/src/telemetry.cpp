@@ -1,0 +1,80 @@
+#include "ff/device/telemetry.h"
+
+namespace ff::device {
+
+Telemetry::Telemetry(SimDuration window)
+    : window_(window),
+      captured_(window),
+      local_done_(window),
+      offload_attempted_(window),
+      offload_done_(window),
+      timeouts_net_(window),
+      timeouts_load_(window),
+      offload_latency_(window) {}
+
+void Telemetry::record_frame_captured(SimTime t) {
+  ++totals_.frames_captured;
+  captured_.add(t);
+}
+
+void Telemetry::record_local_completion(SimTime t) {
+  ++totals_.local_completions;
+  local_done_.add(t);
+}
+
+void Telemetry::record_local_drop(SimTime) { ++totals_.local_drops; }
+
+void Telemetry::record_offload_attempt(SimTime t) {
+  ++totals_.offload_attempts;
+  offload_attempted_.add(t);
+}
+
+void Telemetry::record_offload_success(SimTime t, SimDuration latency) {
+  ++totals_.offload_successes;
+  offload_done_.add(t);
+  offload_latency_.add(t, static_cast<double>(latency));
+}
+
+void Telemetry::record_timeout_network(SimTime t) {
+  ++totals_.timeouts_network;
+  timeouts_net_.add(t);
+}
+
+void Telemetry::record_timeout_load(SimTime t) {
+  ++totals_.timeouts_load;
+  timeouts_load_.add(t);
+}
+
+double Telemetry::local_rate(SimTime now) { return local_done_.rate(now); }
+
+double Telemetry::offload_success_rate(SimTime now) {
+  return offload_done_.rate(now);
+}
+
+double Telemetry::offload_attempt_rate(SimTime now) {
+  return offload_attempted_.rate(now);
+}
+
+double Telemetry::timeout_rate(SimTime now) {
+  return timeouts_net_.rate(now) + timeouts_load_.rate(now);
+}
+
+double Telemetry::network_timeout_rate(SimTime now) {
+  return timeouts_net_.rate(now);
+}
+
+double Telemetry::load_timeout_rate(SimTime now) {
+  return timeouts_load_.rate(now);
+}
+
+double Telemetry::throughput(SimTime now) {
+  return local_rate(now) + offload_success_rate(now);
+}
+
+double Telemetry::capture_rate(SimTime now) { return captured_.rate(now); }
+
+double Telemetry::mean_offload_latency_us(SimTime now) {
+  return offload_latency_.mean(now);
+}
+
+}  // namespace ff::device

@@ -1,0 +1,51 @@
+#pragma once
+
+// Edge-device hardware profiles: the paper's three Raspberry Pis (Table II)
+// expressed as local-inference rate tables plus a CPU-utilization model
+// matching the §II-A measurement (50.2% local -> 22.3% offloaded).
+
+#include <span>
+#include <string_view>
+
+#include "ff/models/model_spec.h"
+
+namespace ff::models {
+
+enum class DeviceId {
+  kPi3B,      ///< Raspberry Pi 3B rev 1.2
+  kPi4BR12,   ///< Raspberry Pi 4B rev 1.2
+  kPi4BR14,   ///< Raspberry Pi 4B rev 1.4
+};
+
+struct DeviceProfile {
+  DeviceId id;
+  std::string_view name;
+  int cpus;
+  int clock_mhz;
+  int memory_mib;
+  /// Measured local rates from paper Table II (frames/second).
+  double local_rate_mobilenet_v3_small;
+  double local_rate_efficientnet_b0;
+
+  /// Local inference rate Pl for any model. Rates for the two models in
+  /// Table II are returned verbatim; others are derived via the models'
+  /// relative local cost.
+  [[nodiscard]] double local_rate(ModelId model) const;
+
+  /// Mean local per-frame latency, seconds.
+  [[nodiscard]] double local_latency_s(ModelId model) const {
+    return 1.0 / local_rate(model);
+  }
+};
+
+[[nodiscard]] const DeviceProfile& get_device(DeviceId id);
+[[nodiscard]] std::span<const DeviceProfile> all_devices();
+[[nodiscard]] DeviceId parse_device(std::string_view name);
+
+/// Device CPU utilization model (fraction of total CPU). `local_busy` is
+/// the local engine's busy fraction in [0,1]; `offload_fraction` is
+/// Po / Fs in [0,1]. Calibrated to the paper's 50.2% / 22.3% endpoints.
+[[nodiscard]] double device_cpu_utilization(double local_busy,
+                                            double offload_fraction);
+
+}  // namespace ff::models

@@ -1,0 +1,48 @@
+#pragma once
+
+// Frame payload model: what actually crosses the network when a frame is
+// offloaded. The paper compresses frames with JPEG before sending (§II-D);
+// here resolution and quality map to a byte count and an accuracy factor.
+
+#include "ff/models/model_spec.h"
+#include "ff/util/units.h"
+
+namespace ff::models {
+
+/// Capture/encode parameters for offloaded frames. The default captures at
+/// 256x256/q85 -- slightly above the models' 224 native input, as the
+/// paper suggests (§II-D) -- and compresses to ~29 KB, which places the
+/// Table V bandwidth steps at "comfortable / intermediate / starved" for a
+/// 30 fps stream exactly as in the paper's figures.
+struct FrameSpec {
+  int width{256};
+  int height{256};
+  int jpeg_quality{85};  ///< 1..100
+
+  friend constexpr bool operator==(const FrameSpec&, const FrameSpec&) = default;
+};
+
+/// Size of the inference result payload returned by the server (class ids
+/// plus scores).
+inline constexpr std::int64_t kResultBytes = 320;
+
+/// Compressed size of a frame. Uses an empirical JPEG bytes-per-pixel
+/// curve: ~0.36 B/px at q75 (a 224x224 frame is ~18 KB, in line with the
+/// paper's setting).
+[[nodiscard]] Bytes frame_bytes(const FrameSpec& spec);
+
+/// JPEG bytes-per-pixel at a quality setting (clamped to 1..100).
+[[nodiscard]] double jpeg_bytes_per_pixel(int quality);
+
+/// Effective top-1 accuracy when feeding the model a frame captured with
+/// `spec` (§II-D: lower resolution / heavier compression costs accuracy,
+/// larger input than native can help slightly for models with variable
+/// input like EfficientNetB4).
+[[nodiscard]] double effective_accuracy(const ModelSpec& model,
+                                        const FrameSpec& spec);
+
+/// Time to JPEG-encode a frame on the device (scales with pixel count);
+/// part of the offload path's on-device cost.
+[[nodiscard]] SimDuration encode_time(const FrameSpec& spec);
+
+}  // namespace ff::models

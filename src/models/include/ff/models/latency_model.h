@@ -1,0 +1,60 @@
+#pragma once
+
+// Inference execution cost models. The paper runs TensorFlow; we replace
+// the arithmetic with calibrated stochastic latency draws that reproduce
+// the rates the paper measured (Table II locally, server saturation per
+// Table VI).
+
+#include "ff/models/device_profile.h"
+#include "ff/models/model_spec.h"
+#include "ff/util/rng.h"
+#include "ff/util/units.h"
+
+namespace ff::models {
+
+/// Per-frame local (on-device) inference latency: lognormal around the
+/// profile's mean with small OS/scheduler jitter.
+class LocalLatencyModel {
+ public:
+  LocalLatencyModel(const DeviceProfile& device, ModelId model, Rng rng,
+                    double jitter_sigma = 0.08);
+
+  /// Draws the service time for one frame.
+  [[nodiscard]] SimDuration sample();
+
+  /// Deterministic mean service time.
+  [[nodiscard]] SimDuration mean() const { return mean_; }
+
+  /// Implied steady-state rate, frames/second.
+  [[nodiscard]] double rate() const;
+
+ private:
+  SimDuration mean_;
+  double sigma_;
+  Rng rng_;
+};
+
+/// Batched GPU inference latency on the edge server:
+/// latency(batch) = base + per_frame * batch, with multiplicative jitter.
+class GpuBatchLatencyModel {
+ public:
+  GpuBatchLatencyModel(ModelId model, Rng rng, double jitter_sigma = 0.05);
+
+  /// Draws the execution time of a batch of `batch_size` frames.
+  [[nodiscard]] SimDuration sample(int batch_size);
+
+  /// Deterministic mean batch time.
+  [[nodiscard]] SimDuration mean(int batch_size) const;
+
+  /// Steady-state throughput at this batch size, frames/second.
+  [[nodiscard]] double throughput(int batch_size) const;
+
+  [[nodiscard]] const ModelSpec& spec() const { return spec_; }
+
+ private:
+  const ModelSpec& spec_;
+  double sigma_;
+  Rng rng_;
+};
+
+}  // namespace ff::models

@@ -1,0 +1,51 @@
+#pragma once
+
+// The classification model zoo from the paper (§II-C/D, Table III): the
+// Keras models are replaced by cost models -- accuracy metadata plus the
+// latency coefficients that drive the local and GPU execution simulators.
+
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace ff::models {
+
+enum class ModelId {
+  kMobileNetV3Small,
+  kMobileNetV3Large,
+  kEfficientNetB0,
+  kEfficientNetB4,
+};
+
+struct ModelSpec {
+  ModelId id;
+  std::string_view name;
+  double top1_accuracy;        ///< Table III, ImageNet top-1 fraction
+  int native_resolution;       ///< pre-trained input side, pixels
+  /// GPU (edge server) batched-inference cost: latency(batch) =
+  /// batch_base_ms + batch_per_frame_ms * batch. Coefficients are
+  /// calibrated so the simulated server saturates near the request volumes
+  /// of paper Table VI (see DESIGN.md).
+  double batch_base_ms;
+  double batch_per_frame_ms;
+  /// Relative local CPU cost vs MobileNetV3Small (used to derive local
+  /// rates for models absent from paper Table II).
+  double relative_local_cost;
+};
+
+/// Spec for a model id; never fails.
+[[nodiscard]] const ModelSpec& get_model(ModelId id);
+
+/// All models, in Table III order.
+[[nodiscard]] std::span<const ModelSpec> all_models();
+
+/// Parses "mobilenet_v3_small", "efficientnet_b0", ... Throws
+/// std::invalid_argument on unknown names.
+[[nodiscard]] ModelId parse_model(std::string_view name);
+
+[[nodiscard]] std::string_view model_name(ModelId id);
+
+/// Steady-state GPU throughput at a given batch size, frames/second.
+[[nodiscard]] double gpu_throughput(const ModelSpec& spec, int batch_size);
+
+}  // namespace ff::models

@@ -1,0 +1,54 @@
+#pragma once
+
+// Device power model (paper §II-A: "effective offloading leads to lower
+// power usage on edge devices" -- the paper measures CPU share; this
+// model turns utilization and radio activity into watts and joules so the
+// energy benefit can be quantified per inference).
+
+#include "ff/models/device_profile.h"
+#include "ff/util/units.h"
+
+namespace ff::models {
+
+/// Electrical parameters of a Pi-class board with a Wi-Fi radio.
+struct PowerProfile {
+  double idle_w{2.3};        ///< board at idle, radio associated
+  double cpu_full_w{4.2};    ///< additional draw at 100% CPU (all cores)
+  double radio_tx_w{0.9};    ///< additional draw while transmitting
+  double radio_rx_w{0.3};    ///< additional draw while receiving
+};
+
+/// Default profile for each device (larger boards draw more).
+[[nodiscard]] PowerProfile default_power_profile(DeviceId id);
+
+/// Instantaneous power draw in watts.
+/// `cpu_utilization` in [0,1]; `tx_fraction` / `rx_fraction` = share of
+/// time the radio spends transmitting/receiving.
+[[nodiscard]] double power_draw_w(const PowerProfile& profile,
+                                  double cpu_utilization, double tx_fraction,
+                                  double rx_fraction);
+
+/// Streaming energy integrator: feed (power, duration) pairs as the run
+/// progresses and read joules at the end.
+class EnergyMeter {
+ public:
+  /// Accumulates `power_w` held for `duration`.
+  void accumulate(double power_w, SimDuration duration);
+
+  [[nodiscard]] double joules() const { return joules_; }
+  [[nodiscard]] SimDuration measured_time() const { return time_; }
+
+  /// Mean power over everything accumulated so far (W).
+  [[nodiscard]] double mean_power_w() const;
+
+  /// Joules per unit of work, e.g. per successful inference.
+  [[nodiscard]] double joules_per(std::uint64_t work_items) const;
+
+  void reset();
+
+ private:
+  double joules_{0.0};
+  SimDuration time_{0};
+};
+
+}  // namespace ff::models

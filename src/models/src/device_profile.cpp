@@ -1,0 +1,62 @@
+#include "ff/models/device_profile.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace ff::models {
+namespace {
+
+constexpr std::array<DeviceProfile, 3> kDevices{{
+    // Paper Table II.
+    {DeviceId::kPi3B, "pi3b", 4, 1200, 909, 5.5, 1.8},
+    {DeviceId::kPi4BR12, "pi4b_r12", 4, 1500, 3789, 13.0, 2.5},
+    {DeviceId::kPi4BR14, "pi4b_r14", 4, 1800, 7782, 13.4, 4.2},
+}};
+
+}  // namespace
+
+double DeviceProfile::local_rate(ModelId model) const {
+  switch (model) {
+    case ModelId::kMobileNetV3Small:
+      return local_rate_mobilenet_v3_small;
+    case ModelId::kEfficientNetB0:
+      return local_rate_efficientnet_b0;
+    default: {
+      // Scale from MobileNetV3Small via relative cost.
+      const double base = local_rate_mobilenet_v3_small;
+      const double cost = get_model(model).relative_local_cost;
+      return base / cost;
+    }
+  }
+}
+
+const DeviceProfile& get_device(DeviceId id) {
+  for (const auto& d : kDevices) {
+    if (d.id == id) return d;
+  }
+  throw std::logic_error("get_device: unknown id");
+}
+
+std::span<const DeviceProfile> all_devices() { return kDevices; }
+
+DeviceId parse_device(std::string_view name) {
+  for (const auto& d : kDevices) {
+    if (d.name == name) return d.id;
+  }
+  throw std::invalid_argument("parse_device: unknown device '" + std::string(name) + "'");
+}
+
+double device_cpu_utilization(double local_busy, double offload_fraction) {
+  local_busy = std::clamp(local_busy, 0.0, 1.0);
+  offload_fraction = std::clamp(offload_fraction, 0.0, 1.0);
+  // Fixed capture/decode floor + local inference cost + offload
+  // encode/transmit cost; endpoints: (1, 0) -> 0.502, (0, 1) -> 0.223.
+  constexpr double kFloor = 0.08;
+  constexpr double kLocalFull = 0.422;
+  constexpr double kOffloadFull = 0.143;
+  return kFloor + kLocalFull * local_busy + kOffloadFull * offload_fraction;
+}
+
+}  // namespace ff::models

@@ -1,0 +1,51 @@
+#include "ff/models/frame.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ff::models {
+
+double jpeg_bytes_per_pixel(int quality) {
+  const double q = std::clamp(quality, 1, 100) / 100.0;
+  // Smooth fit to libjpeg output sizes for photographic content:
+  // q=50 -> ~0.19 B/px, q=75 -> ~0.36, q=90 -> ~0.50, q=100 -> ~0.60.
+  return 0.05 + 0.55 * q * q;
+}
+
+Bytes frame_bytes(const FrameSpec& spec) {
+  const double pixels = static_cast<double>(spec.width) * spec.height;
+  const double bytes = pixels * jpeg_bytes_per_pixel(spec.jpeg_quality);
+  return Bytes{static_cast<std::int64_t>(std::max(bytes, 64.0))};
+}
+
+double effective_accuracy(const ModelSpec& model, const FrameSpec& spec) {
+  // Resolution factor: 1.0 at the model's native input, dropping as the
+  // capture resolution falls below it; a mild bonus (<= +1.5 points
+  // relative) above native where the model supports variable input.
+  const double side = std::min(spec.width, spec.height);
+  const double ratio = side / static_cast<double>(model.native_resolution);
+  double resolution_factor;
+  if (ratio >= 1.0) {
+    resolution_factor = std::min(1.0 + 0.015 * std::log2(ratio), 1.03);
+  } else {
+    // Accuracy decays roughly linearly with log-resolution under 1x.
+    resolution_factor = std::max(1.0 + 0.18 * std::log2(ratio), 0.3);
+  }
+
+  // Compression factor: negligible above q~60, increasingly harmful below.
+  const double q = std::clamp(spec.jpeg_quality, 1, 100) / 100.0;
+  double compression_factor = 1.0;
+  if (q < 0.6) compression_factor = std::max(1.0 - 0.45 * (0.6 - q) / 0.6, 0.4);
+
+  return std::clamp(model.top1_accuracy * resolution_factor * compression_factor,
+                    0.0, 1.0);
+}
+
+SimDuration encode_time(const FrameSpec& spec) {
+  // ~3 ms to encode 224x224 on a Pi-class CPU, scaling with pixel count.
+  const double pixels = static_cast<double>(spec.width) * spec.height;
+  const double ms = 3.0 * pixels / (224.0 * 224.0);
+  return seconds_to_sim(ms / 1000.0);
+}
+
+}  // namespace ff::models

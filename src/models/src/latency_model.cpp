@@ -1,0 +1,51 @@
+#include "ff/models/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ff::models {
+
+LocalLatencyModel::LocalLatencyModel(const DeviceProfile& device, ModelId model,
+                                     Rng rng, double jitter_sigma)
+    : mean_(seconds_to_sim(device.local_latency_s(model))),
+      sigma_(std::max(jitter_sigma, 0.0)),
+      rng_(rng) {}
+
+SimDuration LocalLatencyModel::sample() {
+  if (sigma_ <= 0.0) return mean_;
+  // Median chosen so the *mean* of the lognormal equals mean_.
+  const double median =
+      static_cast<double>(mean_) / std::exp(sigma_ * sigma_ / 2.0);
+  const double v = rng_.lognormal(median, sigma_);
+  return std::max<SimDuration>(static_cast<SimDuration>(v), 1);
+}
+
+double LocalLatencyModel::rate() const {
+  return static_cast<double>(kSecond) / static_cast<double>(mean_);
+}
+
+GpuBatchLatencyModel::GpuBatchLatencyModel(ModelId model, Rng rng,
+                                           double jitter_sigma)
+    : spec_(get_model(model)), sigma_(std::max(jitter_sigma, 0.0)), rng_(rng) {}
+
+SimDuration GpuBatchLatencyModel::mean(int batch_size) const {
+  const double ms =
+      spec_.batch_base_ms + spec_.batch_per_frame_ms * std::max(batch_size, 0);
+  return seconds_to_sim(ms / 1000.0);
+}
+
+SimDuration GpuBatchLatencyModel::sample(int batch_size) {
+  const SimDuration m = mean(batch_size);
+  if (sigma_ <= 0.0) return m;
+  const double median = static_cast<double>(m) / std::exp(sigma_ * sigma_ / 2.0);
+  const double v = rng_.lognormal(median, sigma_);
+  return std::max<SimDuration>(static_cast<SimDuration>(v), 1);
+}
+
+double GpuBatchLatencyModel::throughput(int batch_size) const {
+  if (batch_size <= 0) return 0.0;
+  return static_cast<double>(batch_size) * static_cast<double>(kSecond) /
+         static_cast<double>(mean(batch_size));
+}
+
+}  // namespace ff::models

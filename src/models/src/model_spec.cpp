@@ -1,0 +1,44 @@
+#include "ff/models/model_spec.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace ff::models {
+namespace {
+
+constexpr std::array<ModelSpec, 4> kModels{{
+    // Accuracies from paper Table III; resolutions from §II-D.
+    {ModelId::kEfficientNetB0, "efficientnet_b0", 0.771, 224, 30.0, 7.0, 5.2},
+    {ModelId::kEfficientNetB4, "efficientnet_b4", 0.829, 380, 50.0, 20.0, 30.0},
+    {ModelId::kMobileNetV3Small, "mobilenet_v3_small", 0.674, 224, 25.0, 4.5, 1.0},
+    {ModelId::kMobileNetV3Large, "mobilenet_v3_large", 0.752, 224, 28.0, 6.0, 2.6},
+}};
+
+}  // namespace
+
+const ModelSpec& get_model(ModelId id) {
+  for (const auto& m : kModels) {
+    if (m.id == id) return m;
+  }
+  throw std::logic_error("get_model: unknown id");
+}
+
+std::span<const ModelSpec> all_models() { return kModels; }
+
+ModelId parse_model(std::string_view name) {
+  for (const auto& m : kModels) {
+    if (m.name == name) return m.id;
+  }
+  throw std::invalid_argument("parse_model: unknown model '" + std::string(name) + "'");
+}
+
+std::string_view model_name(ModelId id) { return get_model(id).name; }
+
+double gpu_throughput(const ModelSpec& spec, int batch_size) {
+  if (batch_size <= 0) return 0.0;
+  const double batch_ms =
+      spec.batch_base_ms + spec.batch_per_frame_ms * batch_size;
+  return 1000.0 * static_cast<double>(batch_size) / batch_ms;
+}
+
+}  // namespace ff::models

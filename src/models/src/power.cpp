@@ -1,0 +1,49 @@
+#include "ff/models/power.h"
+
+#include <algorithm>
+
+namespace ff::models {
+
+PowerProfile default_power_profile(DeviceId id) {
+  switch (id) {
+    case DeviceId::kPi3B:
+      return {1.9, 3.3, 0.8, 0.3};
+    case DeviceId::kPi4BR12:
+      return {2.7, 4.5, 0.9, 0.3};
+    case DeviceId::kPi4BR14:
+      return {2.7, 4.7, 0.9, 0.3};
+  }
+  return {};
+}
+
+double power_draw_w(const PowerProfile& profile, double cpu_utilization,
+                    double tx_fraction, double rx_fraction) {
+  cpu_utilization = std::clamp(cpu_utilization, 0.0, 1.0);
+  tx_fraction = std::clamp(tx_fraction, 0.0, 1.0);
+  rx_fraction = std::clamp(rx_fraction, 0.0, 1.0);
+  return profile.idle_w + profile.cpu_full_w * cpu_utilization +
+         profile.radio_tx_w * tx_fraction + profile.radio_rx_w * rx_fraction;
+}
+
+void EnergyMeter::accumulate(double power_w, SimDuration duration) {
+  if (duration <= 0) return;
+  joules_ += power_w * sim_to_seconds(duration);
+  time_ += duration;
+}
+
+double EnergyMeter::mean_power_w() const {
+  if (time_ <= 0) return 0.0;
+  return joules_ / sim_to_seconds(time_);
+}
+
+double EnergyMeter::joules_per(std::uint64_t work_items) const {
+  if (work_items == 0) return 0.0;
+  return joules_ / static_cast<double>(work_items);
+}
+
+void EnergyMeter::reset() {
+  joules_ = 0.0;
+  time_ = 0;
+}
+
+}  // namespace ff::models

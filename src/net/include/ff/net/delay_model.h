@@ -1,0 +1,69 @@
+#pragma once
+
+// Propagation/jitter delay processes, applied per packet on top of
+// serialization time.
+
+#include <memory>
+
+#include "ff/util/rng.h"
+#include "ff/util/units.h"
+
+namespace ff::net {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Per-packet one-way delay (>= 0).
+  [[nodiscard]] virtual SimDuration sample(Rng& rng) = 0;
+
+  /// Mean delay (for reporting).
+  [[nodiscard]] virtual SimDuration mean() const = 0;
+};
+
+/// Fixed delay.
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(SimDuration delay);
+
+  [[nodiscard]] SimDuration sample(Rng&) override { return delay_; }
+  [[nodiscard]] SimDuration mean() const override { return delay_; }
+
+ private:
+  SimDuration delay_;
+};
+
+/// Normal jitter around a base delay, truncated at zero (NetEm's
+/// delay+jitter knob).
+class NormalDelay final : public DelayModel {
+ public:
+  NormalDelay(SimDuration mean, SimDuration jitter_stddev);
+
+  [[nodiscard]] SimDuration sample(Rng& rng) override;
+  [[nodiscard]] SimDuration mean() const override { return mean_; }
+
+ private:
+  SimDuration mean_, stddev_;
+};
+
+/// Heavy-tailed delay: lognormal around a median; models the occasional
+/// multi-RTT Wi-Fi stall.
+class LogNormalDelay final : public DelayModel {
+ public:
+  LogNormalDelay(SimDuration median, double sigma);
+
+  [[nodiscard]] SimDuration sample(Rng& rng) override;
+  [[nodiscard]] SimDuration mean() const override;
+
+ private:
+  SimDuration median_;
+  double sigma_;
+};
+
+[[nodiscard]] std::unique_ptr<DelayModel> make_constant_delay(SimDuration delay);
+[[nodiscard]] std::unique_ptr<DelayModel> make_normal_delay(SimDuration mean,
+                                                            SimDuration jitter);
+[[nodiscard]] std::unique_ptr<DelayModel> make_lognormal_delay(SimDuration median,
+                                                               double sigma);
+
+}  // namespace ff::net

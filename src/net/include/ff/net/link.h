@@ -1,0 +1,109 @@
+#pragma once
+
+// Unidirectional emulated link: FIFO serialization at a configurable rate,
+// bounded queue with tail drop, stochastic loss and propagation delay.
+// This is the NetEm stand-in -- bandwidth/loss changes mid-run reproduce
+// the paper's `tc netem rate/loss` reconfiguration (Table V).
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ff/net/delay_model.h"
+#include "ff/net/loss_model.h"
+#include "ff/net/packet.h"
+#include "ff/sim/simulator.h"
+#include "ff/util/stats.h"
+
+namespace ff::net {
+
+class SharedMedium;
+
+/// Dynamic link conditions (the NetEm knobs).
+struct LinkConditions {
+  Bandwidth bandwidth{Bandwidth::mbps(10.0)};
+  double loss_probability{0.0};          ///< applied via BernoulliLoss
+  SimDuration propagation_delay{2 * kMillisecond};
+};
+
+struct LinkConfig {
+  std::string name{"link"};
+  LinkConditions initial{};
+  std::size_t queue_limit{256};          ///< packets; tail drop beyond
+  SimDuration delay_jitter{0};           ///< stddev of normal jitter
+};
+
+struct LinkStats {
+  std::uint64_t packets_offered{0};
+  std::uint64_t packets_delivered{0};
+  std::uint64_t packets_lost{0};         ///< random loss
+  std::uint64_t packets_dropped_queue{0};///< tail drop
+  std::uint64_t packets_purged{0};       ///< sender revoked stale packets
+  std::int64_t bytes_delivered{0};
+  StreamingStats queueing_delay_us{};    ///< enqueue -> start of service
+  StreamingStats total_delay_us{};       ///< enqueue -> delivery
+};
+
+class Link {
+ public:
+  using DeliveryFn = std::function<void(const Packet&)>;
+
+  /// `sim` must outlive the link.
+  Link(sim::Simulator& sim, LinkConfig config);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Receiver callback invoked at delivery time.
+  void set_receiver(DeliveryFn receiver) { receiver_ = std::move(receiver); }
+
+  /// Offers a packet; false means tail-dropped (queue full).
+  bool send(Packet packet);
+
+  /// Applies new conditions to packets serialized from now on.
+  void set_conditions(const LinkConditions& conditions);
+
+  /// Replaces the random-loss process (e.g. Gilbert-Elliott); overrides the
+  /// `loss_probability` of the current conditions.
+  void set_loss_model(std::unique_ptr<LossModel> model);
+
+  /// Removes still-queued packets of one message (the sender revoking
+  /// frames whose deadline passed -- standard qdisc behaviour for a
+  /// real-time video sender's own interface queue). The packet currently
+  /// being serialized is not affected. Returns the number removed.
+  std::size_t purge(std::uint64_t flow_id, std::uint64_t message_id);
+
+  /// Attaches this link to a shared medium: serialization then requires
+  /// an airtime grant, contending with the medium's other links. Must be
+  /// called before any traffic. `medium` must outlive the link.
+  void attach_medium(SharedMedium* medium);
+
+  /// Called by the medium when airtime is granted; not for users.
+  void medium_grant();
+
+  [[nodiscard]] const LinkConditions& conditions() const { return conditions_; }
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] bool busy() const { return busy_; }
+
+ private:
+  void start_service();
+  void serve_front();
+  void finish_service(Packet packet, SimTime enqueued_at);
+
+  sim::Simulator& sim_;
+  LinkConfig config_;
+  LinkConditions conditions_;
+  std::unique_ptr<LossModel> loss_;
+  std::unique_ptr<DelayModel> jitter_;
+  Rng rng_;
+  DeliveryFn receiver_;
+  std::deque<Packet> queue_;
+  bool busy_{false};
+  SharedMedium* medium_{nullptr};
+  LinkStats stats_;
+};
+
+}  // namespace ff::net

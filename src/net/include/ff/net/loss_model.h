@@ -1,0 +1,60 @@
+#pragma once
+
+// Packet loss processes. Bernoulli matches NetEm's default random loss
+// (what the paper injects); Gilbert-Elliott adds bursty wireless loss for
+// the ablation benches.
+
+#include <memory>
+
+#include "ff/util/rng.h"
+
+namespace ff::net {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  /// Returns true when the next packet should be dropped.
+  [[nodiscard]] virtual bool drop(Rng& rng) = 0;
+
+  /// Long-run expected loss fraction (for reporting).
+  [[nodiscard]] virtual double expected_loss() const = 0;
+};
+
+/// Independent per-packet loss with fixed probability.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double probability);
+
+  [[nodiscard]] bool drop(Rng& rng) override;
+  [[nodiscard]] double expected_loss() const override { return probability_; }
+
+  void set_probability(double p);
+
+ private:
+  double probability_;
+};
+
+/// Two-state Markov (Gilbert-Elliott) loss: a good state with low loss and
+/// a bad state with high loss, capturing wireless fade bursts.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  /// `p_good_to_bad` / `p_bad_to_good`: per-packet transition probabilities.
+  GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good,
+                     double loss_good, double loss_bad);
+
+  [[nodiscard]] bool drop(Rng& rng) override;
+  [[nodiscard]] double expected_loss() const override;
+
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+
+ private:
+  double p_gb_, p_bg_, loss_good_, loss_bad_;
+  bool bad_{false};
+};
+
+[[nodiscard]] std::unique_ptr<LossModel> make_bernoulli_loss(double probability);
+[[nodiscard]] std::unique_ptr<LossModel> make_gilbert_elliott_loss(
+    double p_good_to_bad, double p_bad_to_good, double loss_good, double loss_bad);
+
+}  // namespace ff::net

@@ -1,0 +1,32 @@
+#pragma once
+
+// Wire unit of the network emulator. A "packet" here is one MTU-sized
+// fragment of an application message (an offloaded frame or its result)
+// or an acknowledgment.
+
+#include <cstdint>
+
+#include "ff/util/units.h"
+
+namespace ff::net {
+
+enum class PacketKind : std::uint8_t { kData, kAck };
+
+/// Per-packet protocol overhead (IP + UDP + our framing), counted against
+/// link bandwidth.
+inline constexpr std::int64_t kHeaderBytes = 42;
+
+/// Default MTU payload per fragment.
+inline constexpr std::int64_t kDefaultMtuPayload = 1400;
+
+struct Packet {
+  std::uint64_t flow_id{0};       ///< demux key: which channel this belongs to
+  std::uint64_t message_id{0};
+  std::uint32_t fragment_index{0};
+  std::uint32_t fragment_count{1};
+  PacketKind kind{PacketKind::kData};
+  Bytes size{Bytes{kHeaderBytes}};  ///< total on-wire size incl. header
+  SimTime enqueued_at{0};           ///< set by the link for latency stats
+};
+
+}  // namespace ff::net

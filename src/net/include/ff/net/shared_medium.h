@@ -1,0 +1,47 @@
+#pragma once
+
+// Shared wireless medium: links attached to the same medium contend for
+// airtime -- only one may serialize at a time, granted FIFO. Models an
+// access point shared by all devices (the paper shapes each Pi's
+// interface independently; this ablation asks what changes when they
+// share the channel instead).
+
+#include <deque>
+#include <string>
+
+#include "ff/util/units.h"
+
+namespace ff::net {
+
+class Link;
+
+class SharedMedium {
+ public:
+  explicit SharedMedium(std::string name = "medium") : name_(std::move(name)) {}
+
+  SharedMedium(const SharedMedium&) = delete;
+  SharedMedium& operator=(const SharedMedium&) = delete;
+
+  /// A link with traffic asks for the channel; granted immediately when
+  /// free, else queued FIFO. The link's `medium_grant()` is invoked on
+  /// grant. A link must not request while active or already waiting.
+  void request(Link* link);
+
+  /// The active link finished one packet; the next waiter is granted.
+  void release(Link* link);
+
+  [[nodiscard]] bool busy() const { return active_ != nullptr; }
+  [[nodiscard]] std::size_t waiting() const { return waiting_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t grants() const { return grants_; }
+
+ private:
+  void grant(Link* link);
+
+  std::string name_;
+  Link* active_{nullptr};
+  std::deque<Link*> waiting_;
+  std::uint64_t grants_{0};
+};
+
+}  // namespace ff::net

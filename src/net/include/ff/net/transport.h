@@ -1,0 +1,161 @@
+#pragma once
+
+// Reliable message transport over lossy links.
+//
+// An offloaded frame is a message: it is fragmented into MTU packets, each
+// retransmitted on an RTO until acknowledged. This is where NetEm-style
+// loss turns into end-to-end latency inflation -- the mechanism behind the
+// paper's network-induced timeouts (Tn).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ff/net/link.h"
+#include "ff/net/packet.h"
+#include "ff/sim/simulator.h"
+
+namespace ff::net {
+
+struct TransportConfig {
+  std::int64_t mtu_payload{kDefaultMtuPayload};
+  SimDuration rto{100 * kMillisecond};       ///< base retransmit timeout
+  /// The RTO doubles per attempt (capped at rto << rto_backoff_cap):
+  /// without backoff, retransmissions of still-live messages can exceed
+  /// link capacity and keep it collapsed after conditions recover.
+  int rto_backoff_cap{5};
+  int max_retries{8};                        ///< per fragment, before the message fails
+  SimDuration reassembly_timeout{3 * kSecond};
+  std::size_t completed_history{4096};       ///< dedupe window at the receiver
+};
+
+struct ChannelStats {
+  std::uint64_t messages_sent{0};
+  std::uint64_t sends_succeeded{0};   ///< fully acked at the sender
+  std::uint64_t sends_failed{0};      ///< fragment retry budget exhausted
+  std::uint64_t sends_cancelled{0};
+  std::uint64_t messages_delivered{0};///< reassembled at the receiver
+  std::uint64_t fragments_sent{0};    ///< includes retransmissions
+  std::uint64_t retransmissions{0};
+  std::uint64_t acks_received{0};
+  std::uint64_t duplicate_fragments{0};
+  std::uint64_t partials_expired{0};
+};
+
+/// One direction of reliable messaging: data packets ride `data_link`,
+/// acks ride `ack_link`. The owner must route incoming packets to
+/// `handle_data` / `handle_ack` (see DuplexPath).
+class ReliableChannel {
+ public:
+  /// Receiver-side delivery: (message_id, payload_bytes).
+  using MessageFn = std::function<void(std::uint64_t, Bytes)>;
+  /// Sender-side resolution: (message_id, success).
+  using SendResultFn = std::function<void(std::uint64_t, bool)>;
+
+  ReliableChannel(sim::Simulator& sim, Link& data_link, Link& ack_link,
+                  std::uint64_t flow_id, TransportConfig config,
+                  std::string name = "chan");
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  void set_on_message(MessageFn fn) { on_message_ = std::move(fn); }
+  void set_on_send_result(SendResultFn fn) { on_send_result_ = std::move(fn); }
+
+  /// Sends a message of `payload` bytes. `message_id` must be unique per
+  /// channel. Resolution arrives via the send-result callback.
+  void send(std::uint64_t message_id, Bytes payload);
+
+  /// Abandons retransmission for an in-flight message (e.g. its deadline
+  /// passed). No send-result callback fires. No-op if unknown.
+  void cancel(std::uint64_t message_id);
+
+  /// True while the sender is still working on the message.
+  [[nodiscard]] bool in_flight(std::uint64_t message_id) const;
+
+  [[nodiscard]] std::uint64_t flow_id() const { return flow_id_; }
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] const TransportConfig& config() const { return config_; }
+
+  /// Packet ingress, called by the demux that owns the links.
+  void handle_data(const Packet& packet);
+  void handle_ack(const Packet& packet);
+
+ private:
+  struct OutMessage {
+    std::uint32_t fragment_count{0};
+    Bytes payload{};
+    std::vector<bool> acked;
+    std::vector<int> retries;
+    std::uint32_t acked_count{0};
+  };
+
+  struct InMessage {
+    std::uint32_t fragment_count{0};
+    std::vector<bool> received;
+    std::uint32_t received_count{0};
+    Bytes payload{};
+    SimTime first_fragment_at{0};
+  };
+
+  void transmit_fragment(std::uint64_t message_id, std::uint32_t fragment,
+                         int attempt);
+  void arm_rto(std::uint64_t message_id, std::uint32_t fragment, int attempt);
+  void send_ack(std::uint64_t message_id, std::uint32_t fragment,
+                std::uint32_t fragment_count);
+  void remember_completed(std::uint64_t message_id);
+  void gc_partials();
+  [[nodiscard]] Bytes fragment_wire_size(const OutMessage& m,
+                                         std::uint32_t fragment) const;
+
+  sim::Simulator& sim_;
+  Link& data_link_;
+  Link& ack_link_;
+  std::uint64_t flow_id_;
+  TransportConfig config_;
+  std::string name_;
+
+  MessageFn on_message_;
+  SendResultFn on_send_result_;
+
+  std::unordered_map<std::uint64_t, OutMessage> outbox_;
+  std::unordered_map<std::uint64_t, InMessage> inbox_;
+  std::unordered_set<std::uint64_t> completed_;
+  std::deque<std::uint64_t> completed_order_;
+  ChannelStats stats_;
+};
+
+/// A <-> B duplex path: two links and two reliable channels (uplink A->B,
+/// downlink B->A) with packet demuxing wired up.
+class DuplexPath {
+ public:
+  DuplexPath(sim::Simulator& sim, LinkConfig forward, LinkConfig reverse,
+             TransportConfig transport = {}, std::string name = "path");
+
+  DuplexPath(const DuplexPath&) = delete;
+  DuplexPath& operator=(const DuplexPath&) = delete;
+
+  [[nodiscard]] Link& forward_link() { return forward_; }
+  [[nodiscard]] Link& reverse_link() { return reverse_; }
+  [[nodiscard]] ReliableChannel& uplink() { return uplink_; }
+  [[nodiscard]] ReliableChannel& downlink() { return downlink_; }
+
+  /// Applies conditions to both directions (NetEm shapes the interface,
+  /// which affects both).
+  void set_conditions(const LinkConditions& conditions);
+
+  /// Both links, for NetemSchedule::apply.
+  [[nodiscard]] std::vector<Link*> links() { return {&forward_, &reverse_}; }
+
+ private:
+  Link forward_;
+  Link reverse_;
+  ReliableChannel uplink_;
+  ReliableChannel downlink_;
+};
+
+}  // namespace ff::net

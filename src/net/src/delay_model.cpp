@@ -1,0 +1,45 @@
+#include "ff/net/delay_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ff::net {
+
+ConstantDelay::ConstantDelay(SimDuration delay) : delay_(std::max<SimDuration>(delay, 0)) {}
+
+NormalDelay::NormalDelay(SimDuration mean, SimDuration jitter_stddev)
+    : mean_(std::max<SimDuration>(mean, 0)),
+      stddev_(std::max<SimDuration>(jitter_stddev, 0)) {}
+
+SimDuration NormalDelay::sample(Rng& rng) {
+  const double v = rng.normal(static_cast<double>(mean_), static_cast<double>(stddev_));
+  return std::max<SimDuration>(static_cast<SimDuration>(v), 0);
+}
+
+LogNormalDelay::LogNormalDelay(SimDuration median, double sigma)
+    : median_(std::max<SimDuration>(median, 1)), sigma_(std::max(sigma, 0.0)) {}
+
+SimDuration LogNormalDelay::sample(Rng& rng) {
+  const double v = rng.lognormal(static_cast<double>(median_), sigma_);
+  return std::max<SimDuration>(static_cast<SimDuration>(v), 0);
+}
+
+SimDuration LogNormalDelay::mean() const {
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) with median = exp(mu).
+  const double m = static_cast<double>(median_) * std::exp(sigma_ * sigma_ / 2.0);
+  return static_cast<SimDuration>(m);
+}
+
+std::unique_ptr<DelayModel> make_constant_delay(SimDuration delay) {
+  return std::make_unique<ConstantDelay>(delay);
+}
+
+std::unique_ptr<DelayModel> make_normal_delay(SimDuration mean, SimDuration jitter) {
+  return std::make_unique<NormalDelay>(mean, jitter);
+}
+
+std::unique_ptr<DelayModel> make_lognormal_delay(SimDuration median, double sigma) {
+  return std::make_unique<LogNormalDelay>(median, sigma);
+}
+
+}  // namespace ff::net

@@ -1,0 +1,114 @@
+#include "ff/net/link.h"
+
+#include <utility>
+
+#include "ff/net/shared_medium.h"
+#include "ff/util/logging.h"
+
+namespace ff::net {
+
+Link::Link(sim::Simulator& sim, LinkConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      conditions_(config_.initial),
+      loss_(make_bernoulli_loss(conditions_.loss_probability)),
+      jitter_(config_.delay_jitter > 0
+                  ? make_normal_delay(0, config_.delay_jitter)
+                  : nullptr),
+      rng_(sim.make_rng("link/" + config_.name)) {}
+
+bool Link::send(Packet packet) {
+  ++stats_.packets_offered;
+  if (queue_.size() >= config_.queue_limit) {
+    ++stats_.packets_dropped_queue;
+    FF_TRACE(config_.name) << "tail drop msg=" << packet.message_id
+                           << " frag=" << packet.fragment_index;
+    return false;
+  }
+  packet.enqueued_at = sim_.now();
+  queue_.push_back(packet);
+  if (!busy_) start_service();
+  return true;
+}
+
+void Link::set_conditions(const LinkConditions& conditions) {
+  conditions_ = conditions;
+  if (auto* bern = dynamic_cast<BernoulliLoss*>(loss_.get())) {
+    bern->set_probability(conditions.loss_probability);
+  }
+}
+
+void Link::set_loss_model(std::unique_ptr<LossModel> model) {
+  loss_ = std::move(model);
+}
+
+std::size_t Link::purge(std::uint64_t flow_id, std::uint64_t message_id) {
+  std::size_t removed = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->flow_id == flow_id && it->message_id == message_id &&
+        it->kind == PacketKind::kData) {
+      it = queue_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  stats_.packets_purged += removed;
+  return removed;
+}
+
+void Link::attach_medium(SharedMedium* medium) { medium_ = medium; }
+
+void Link::medium_grant() { serve_front(); }
+
+void Link::start_service() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  if (medium_) {
+    // Contend for airtime; serve_front() runs on grant.
+    medium_->request(this);
+  } else {
+    serve_front();
+  }
+}
+
+void Link::serve_front() {
+  // A purge may have emptied the queue while we waited for the grant.
+  if (queue_.empty()) {
+    if (medium_) medium_->release(this);
+    busy_ = false;
+    return;
+  }
+  Packet packet = queue_.front();
+  queue_.pop_front();
+  stats_.queueing_delay_us.add(static_cast<double>(sim_.now() - packet.enqueued_at));
+
+  const SimDuration ser = conditions_.bandwidth.serialization_time(packet.size);
+  sim_.schedule_in(ser, [this, packet] {
+    if (medium_) medium_->release(this);
+    finish_service(packet, packet.enqueued_at);
+    start_service();
+  });
+}
+
+void Link::finish_service(Packet packet, SimTime enqueued_at) {
+  if (loss_->drop(rng_)) {
+    ++stats_.packets_lost;
+    FF_TRACE(config_.name) << "loss msg=" << packet.message_id
+                           << " frag=" << packet.fragment_index;
+    return;
+  }
+  SimDuration delay = conditions_.propagation_delay;
+  if (jitter_) delay += jitter_->sample(rng_);
+  sim_.schedule_in(delay, [this, packet, enqueued_at] {
+    ++stats_.packets_delivered;
+    stats_.bytes_delivered += packet.size.count;
+    stats_.total_delay_us.add(static_cast<double>(sim_.now() - enqueued_at));
+    if (receiver_) receiver_(packet);
+  });
+}
+
+}  // namespace ff::net

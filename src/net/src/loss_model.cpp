@@ -1,0 +1,52 @@
+#include "ff/net/loss_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ff::net {
+
+BernoulliLoss::BernoulliLoss(double probability)
+    : probability_(std::clamp(probability, 0.0, 1.0)) {}
+
+bool BernoulliLoss::drop(Rng& rng) { return rng.bernoulli(probability_); }
+
+void BernoulliLoss::set_probability(double p) {
+  probability_ = std::clamp(p, 0.0, 1.0);
+}
+
+GilbertElliottLoss::GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good,
+                                       double loss_good, double loss_bad)
+    : p_gb_(std::clamp(p_good_to_bad, 0.0, 1.0)),
+      p_bg_(std::clamp(p_bad_to_good, 0.0, 1.0)),
+      loss_good_(std::clamp(loss_good, 0.0, 1.0)),
+      loss_bad_(std::clamp(loss_bad, 0.0, 1.0)) {}
+
+bool GilbertElliottLoss::drop(Rng& rng) {
+  if (bad_) {
+    if (rng.bernoulli(p_bg_)) bad_ = false;
+  } else {
+    if (rng.bernoulli(p_gb_)) bad_ = true;
+  }
+  return rng.bernoulli(bad_ ? loss_bad_ : loss_good_);
+}
+
+double GilbertElliottLoss::expected_loss() const {
+  const double denom = p_gb_ + p_bg_;
+  if (denom <= 0.0) return loss_good_;
+  const double frac_bad = p_gb_ / denom;
+  return loss_bad_ * frac_bad + loss_good_ * (1.0 - frac_bad);
+}
+
+std::unique_ptr<LossModel> make_bernoulli_loss(double probability) {
+  return std::make_unique<BernoulliLoss>(probability);
+}
+
+std::unique_ptr<LossModel> make_gilbert_elliott_loss(double p_good_to_bad,
+                                                     double p_bad_to_good,
+                                                     double loss_good,
+                                                     double loss_bad) {
+  return std::make_unique<GilbertElliottLoss>(p_good_to_bad, p_bad_to_good,
+                                              loss_good, loss_bad);
+}
+
+}  // namespace ff::net

@@ -1,0 +1,35 @@
+#include "ff/net/shared_medium.h"
+
+#include <cassert>
+
+#include "ff/net/link.h"
+
+namespace ff::net {
+
+void SharedMedium::request(Link* link) {
+  if (active_ == nullptr) {
+    grant(link);
+  } else {
+    assert(active_ != link);
+    waiting_.push_back(link);
+  }
+}
+
+void SharedMedium::release(Link* link) {
+  assert(active_ == link);
+  (void)link;
+  active_ = nullptr;
+  if (!waiting_.empty()) {
+    Link* next = waiting_.front();
+    waiting_.pop_front();
+    grant(next);
+  }
+}
+
+void SharedMedium::grant(Link* link) {
+  active_ = link;
+  ++grants_;
+  link->medium_grant();
+}
+
+}  // namespace ff::net

@@ -1,0 +1,31 @@
+#pragma once
+
+// Wall-clock replay: executes a simulator's event stream paced against
+// real time (optionally scaled), so the same scenario objects that drive
+// the DES benches also drive a live demo.
+
+#include <atomic>
+#include <functional>
+
+#include "ff/sim/simulator.h"
+
+namespace ff::rt {
+
+struct RealtimeOptions {
+  /// Sim seconds per wall second; 2.0 runs the demo at double speed.
+  double time_scale{1.0};
+  /// Stop after this much simulated time.
+  SimTime horizon{30 * kSecond};
+  /// Called whenever the executor has caught up (idle between events).
+  std::function<void(SimTime)> on_progress;
+  /// How often (sim time) on_progress fires.
+  SimDuration progress_period{kSecond};
+};
+
+/// Runs `sim` until the horizon, sleeping so events fire at their scaled
+/// wall-clock times. `stop` can be flipped from another thread to abort.
+/// Returns the number of events executed.
+std::uint64_t run_realtime(sim::Simulator& sim, const RealtimeOptions& options,
+                           const std::atomic<bool>* stop = nullptr);
+
+}  // namespace ff::rt

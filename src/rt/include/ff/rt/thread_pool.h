@@ -1,0 +1,64 @@
+#pragma once
+
+// Fixed-size worker pool. The bench harness uses it to run independent
+// experiments (controller variants, gain grids, parameter sweeps) across
+// cores -- each experiment owns its own Simulator, so runs share nothing.
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "ff/util/mpmc_queue.h"
+
+namespace ff::rt {
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 uses hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future resolves with its result (or exception).
+  template <class F>
+  [[nodiscard]] auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    queue_.push([task] { (*task)(); });
+    return future;
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  MpmcQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+/// Applies `fn` to every index [0, n) in parallel and collects results in
+/// order. `fn(i)` must be independent across i.
+template <class Fn>
+[[nodiscard]] auto parallel_map(std::size_t n, Fn fn, std::size_t threads = 0)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+  using R = std::invoke_result_t<Fn, std::size_t>;
+  ThreadPool pool(threads);
+  std::vector<std::future<R>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([i, &fn] { return fn(i); }));
+  }
+  std::vector<R> results;
+  results.reserve(n);
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+}  // namespace ff::rt

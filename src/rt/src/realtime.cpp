@@ -1,0 +1,48 @@
+#include "ff/rt/realtime.h"
+
+#include <chrono>
+#include <thread>
+
+namespace ff::rt {
+
+std::uint64_t run_realtime(sim::Simulator& sim, const RealtimeOptions& options,
+                           const std::atomic<bool>* stop) {
+  using Clock = std::chrono::steady_clock;
+  const auto wall_start = Clock::now();
+  const SimTime sim_start = sim.now();
+  const double scale = options.time_scale > 0 ? options.time_scale : 1.0;
+
+  std::uint64_t executed = 0;
+  SimTime next_progress = sim_start + options.progress_period;
+
+  while (!sim.idle()) {
+    if (stop && stop->load(std::memory_order_relaxed)) break;
+
+    // Peek the next event time by stepping only when due.
+    const SimTime horizon = sim_start + options.horizon;
+
+    // Find when the next event would run; Simulator has no peek, so step
+    // in bounded chunks: run one event, then pace.
+    // Pace: compute the wall time at which the *current* sim time should
+    // occur and sleep until then before executing further events.
+    if (!sim.step()) break;
+    ++executed;
+
+    if (sim.now() >= horizon) break;
+
+    const double sim_elapsed_s = sim_to_seconds(sim.now() - sim_start);
+    const auto wall_target =
+        wall_start + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(sim_elapsed_s / scale));
+    const auto now_wall = Clock::now();
+    if (wall_target > now_wall) std::this_thread::sleep_until(wall_target);
+
+    if (options.on_progress && sim.now() >= next_progress) {
+      options.on_progress(sim.now());
+      next_progress += options.progress_period;
+    }
+  }
+  return executed;
+}
+
+}  // namespace ff::rt

@@ -1,0 +1,29 @@
+#include "ff/rt/thread_pool.h"
+
+#include <algorithm>
+
+namespace ff::rt {
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : queue_(1 << 16) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.close();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = queue_.pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace ff::rt

@@ -1,0 +1,100 @@
+#pragma once
+
+// GPU-equipped multi-tenant edge server with adaptive batching (paper
+// §IV-A "Adaptive Batching Strategy"): while a batch executes, arrivals
+// queue; the next batch takes everything queued up to the per-model limit
+// (default 15) and REJECTS the remainder of that queue. Rejections are the
+// load-induced timeout source Tl.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ff/models/latency_model.h"
+#include "ff/server/request.h"
+#include "ff/sim/simulator.h"
+#include "ff/util/histogram.h"
+#include "ff/util/stats.h"
+
+namespace ff::server {
+
+struct ServerConfig {
+  std::string name{"edge-server"};
+  int batch_limit{15};            ///< per model, per batch (paper: 15)
+  double gpu_jitter_sigma{0.05};  ///< multiplicative batch-latency jitter
+  /// When false, the queue remainder past the batch limit stays queued
+  /// instead of being rejected (ablation knob; the paper rejects).
+  bool reject_overflow{true};
+  /// Hard cap on any per-model queue; beyond it requests are rejected on
+  /// arrival even with reject_overflow=false (memory guard).
+  std::size_t queue_hard_limit{1024};
+};
+
+struct ServerStats {
+  std::uint64_t requests_received{0};
+  std::uint64_t requests_completed{0};
+  std::uint64_t requests_rejected{0};
+  std::uint64_t batches_executed{0};
+  StreamingStats batch_size{};
+  StreamingStats service_latency_us{};  ///< completed requests only
+  SimDuration gpu_busy_time{0};
+
+  [[nodiscard]] double mean_batch_size() const { return batch_size.mean(); }
+};
+
+class EdgeServer {
+ public:
+  /// `sim` must outlive the server.
+  EdgeServer(sim::Simulator& sim, ServerConfig config);
+
+  EdgeServer(const EdgeServer&) = delete;
+  EdgeServer& operator=(const EdgeServer&) = delete;
+
+  /// Submits a request; `on_complete` fires exactly once (completion or
+  /// rejection). The arrival timestamp is stamped here.
+  void submit(InferenceRequest request, CompletionFn on_complete);
+
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+  /// Requests currently queued across all models.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// Requests queued for one model.
+  [[nodiscard]] std::size_t queue_depth(models::ModelId model) const;
+
+  [[nodiscard]] bool gpu_busy() const { return gpu_busy_; }
+
+  /// GPU utilization over the sim so far (busy time / elapsed time).
+  [[nodiscard]] double gpu_utilization() const;
+
+ private:
+  struct PendingRequest {
+    InferenceRequest request;
+    CompletionFn on_complete;
+  };
+
+  struct ModelQueue {
+    models::ModelId model;
+    std::deque<PendingRequest> pending;
+    models::GpuBatchLatencyModel latency;
+  };
+
+  ModelQueue& queue_for(models::ModelId model);
+  void maybe_start_batch();
+  void start_batch(ModelQueue& queue);
+  void finish_batch(std::vector<PendingRequest> batch, SimTime started_at);
+  void reject(PendingRequest&& pending);
+
+  sim::Simulator& sim_;
+  ServerConfig config_;
+  std::vector<ModelQueue> queues_;
+  std::size_t next_queue_rr_{0};  ///< round-robin cursor across models
+  bool gpu_busy_{false};
+  ServerStats stats_;
+};
+
+}  // namespace ff::server

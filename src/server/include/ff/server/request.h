@@ -1,0 +1,41 @@
+#pragma once
+
+// The unit of work the edge server processes: one frame to classify.
+
+#include <cstdint>
+#include <functional>
+
+#include "ff/models/model_spec.h"
+#include "ff/util/units.h"
+
+namespace ff::server {
+
+enum class RequestStatus : std::uint8_t {
+  kCompleted,  ///< inference ran; result available
+  kRejected,   ///< dropped at batch formation (queue overflow past limit)
+};
+
+struct InferenceRequest {
+  std::uint64_t request_id{0};
+  std::uint64_t client_id{0};
+  models::ModelId model{models::ModelId::kMobileNetV3Small};
+  Bytes payload{};
+  SimTime arrived_at{0};  ///< stamped by the server on ingress
+};
+
+struct RequestOutcome {
+  InferenceRequest request{};
+  RequestStatus status{RequestStatus::kCompleted};
+  SimTime finished_at{0};
+  int batch_size{0};      ///< batch this request ran in (0 when rejected)
+
+  /// Server-side latency: ingress to completion/rejection.
+  [[nodiscard]] SimDuration service_latency() const {
+    return finished_at - request.arrived_at;
+  }
+};
+
+/// Invoked exactly once per submitted request.
+using CompletionFn = std::function<void(const RequestOutcome&)>;
+
+}  // namespace ff::server

@@ -1,0 +1,131 @@
+#include "ff/server/edge_server.h"
+
+#include <string>
+#include <utility>
+
+#include "ff/util/logging.h"
+
+namespace ff::server {
+
+EdgeServer::EdgeServer(sim::Simulator& sim, ServerConfig config)
+    : sim_(sim), config_(std::move(config)) {}
+
+EdgeServer::ModelQueue& EdgeServer::queue_for(models::ModelId model) {
+  for (auto& q : queues_) {
+    if (q.model == model) return q;
+  }
+  queues_.push_back(ModelQueue{
+      model,
+      {},
+      models::GpuBatchLatencyModel(
+          model,
+          sim_.make_rng(config_.name + "/gpu/" +
+                        std::string(models::model_name(model))),
+          config_.gpu_jitter_sigma)});
+  return queues_.back();
+}
+
+void EdgeServer::submit(InferenceRequest request, CompletionFn on_complete) {
+  ++stats_.requests_received;
+  request.arrived_at = sim_.now();
+  ModelQueue& q = queue_for(request.model);
+  if (q.pending.size() >= config_.queue_hard_limit) {
+    reject(PendingRequest{std::move(request), std::move(on_complete)});
+    return;
+  }
+  q.pending.push_back(PendingRequest{std::move(request), std::move(on_complete)});
+  maybe_start_batch();
+}
+
+std::size_t EdgeServer::queue_depth() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.pending.size();
+  return n;
+}
+
+std::size_t EdgeServer::queue_depth(models::ModelId model) const {
+  for (const auto& q : queues_) {
+    if (q.model == model) return q.pending.size();
+  }
+  return 0;
+}
+
+double EdgeServer::gpu_utilization() const {
+  const SimTime elapsed = sim_.now();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(stats_.gpu_busy_time) / static_cast<double>(elapsed);
+}
+
+void EdgeServer::maybe_start_batch() {
+  if (gpu_busy_ || queues_.empty()) return;
+  // Round-robin across model queues so one model cannot starve another.
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    ModelQueue& q = queues_[(next_queue_rr_ + i) % queues_.size()];
+    if (!q.pending.empty()) {
+      next_queue_rr_ = (next_queue_rr_ + i + 1) % queues_.size();
+      start_batch(q);
+      return;
+    }
+  }
+}
+
+void EdgeServer::start_batch(ModelQueue& queue) {
+  gpu_busy_ = true;
+
+  // Adaptive batching: take everything that queued during the previous
+  // batch, capped at the limit...
+  std::vector<PendingRequest> batch;
+  const auto limit = static_cast<std::size_t>(config_.batch_limit);
+  while (!queue.pending.empty() && batch.size() < limit) {
+    batch.push_back(std::move(queue.pending.front()));
+    queue.pending.pop_front();
+  }
+  // ...and reject the remainder of the queue (paper §IV-A).
+  if (config_.reject_overflow) {
+    while (!queue.pending.empty()) {
+      reject(std::move(queue.pending.front()));
+      queue.pending.pop_front();
+    }
+  }
+
+  const int batch_size = static_cast<int>(batch.size());
+  stats_.batch_size.add(batch_size);
+  ++stats_.batches_executed;
+
+  const SimDuration exec = queue.latency.sample(batch_size);
+  stats_.gpu_busy_time += exec;
+  const SimTime started_at = sim_.now();
+  FF_TRACE(config_.name) << "batch model=" << models::model_name(queue.model)
+                         << " size=" << batch_size << " exec_us=" << exec;
+  sim_.schedule_in(exec, [this, batch = std::move(batch), started_at]() mutable {
+    finish_batch(std::move(batch), started_at);
+  });
+}
+
+void EdgeServer::finish_batch(std::vector<PendingRequest> batch, SimTime) {
+  const int batch_size = static_cast<int>(batch.size());
+  for (auto& pending : batch) {
+    ++stats_.requests_completed;
+    RequestOutcome outcome;
+    outcome.request = std::move(pending.request);
+    outcome.status = RequestStatus::kCompleted;
+    outcome.finished_at = sim_.now();
+    outcome.batch_size = batch_size;
+    stats_.service_latency_us.add(static_cast<double>(outcome.service_latency()));
+    if (pending.on_complete) pending.on_complete(outcome);
+  }
+  gpu_busy_ = false;
+  maybe_start_batch();
+}
+
+void EdgeServer::reject(PendingRequest&& pending) {
+  ++stats_.requests_rejected;
+  RequestOutcome outcome;
+  outcome.request = std::move(pending.request);
+  outcome.status = RequestStatus::kRejected;
+  outcome.finished_at = sim_.now();
+  outcome.batch_size = 0;
+  if (pending.on_complete) pending.on_complete(outcome);
+}
+
+}  // namespace ff::server

@@ -1,0 +1,78 @@
+#pragma once
+
+// The simulator's pending-event set: a binary heap ordered by (time,
+// sequence number) so same-timestamp events run in scheduling order, which
+// keeps runs bit-for-bit reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "ff/util/units.h"
+
+namespace ff::sim {
+
+/// Opaque handle for cancelling a scheduled event. Value 0 is "no event".
+struct EventId {
+  std::uint64_t value{0};
+
+  friend constexpr bool operator==(EventId, EventId) = default;
+};
+
+/// An event ready for execution.
+struct Event {
+  SimTime time{0};
+  std::uint64_t sequence{0};
+  EventId id{};
+  std::function<void()> action;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `t`.
+  EventId schedule(SimTime t, std::function<void()> action);
+
+  /// Lazily cancels the event; it is skipped when its heap slot surfaces.
+  /// Returns false if the id is unknown, already executed, or already
+  /// cancelled.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+  /// Time of the earliest live event; only valid when !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest live event; only valid when !empty().
+  [[nodiscard]] Event pop();
+
+  /// Drops everything.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t sequence;
+    EventId id;
+    std::function<void()> action;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Pops dead (cancelled) entries off the heap front.
+  void drop_dead_front();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> live_;  // scheduled, not executed/cancelled
+  std::uint64_t next_sequence_{0};
+};
+
+}  // namespace ff::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+// Discrete-event simulation kernel.
+//
+// All FrameFeedback experiments execute on this kernel: devices, links and
+// servers are plain objects that schedule callbacks. Determinism contract:
+// given the same seed and the same construction order, two runs produce
+// identical event sequences.
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "ff/sim/event_queue.h"
+#include "ff/util/rng.h"
+#include "ff/util/units.h"
+
+namespace ff::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `action` to run `delay` from now (clamped to >= 0).
+  EventId schedule_in(SimDuration delay, std::function<void()> action);
+
+  /// Schedules `action` at absolute time `t` (clamped to >= now).
+  EventId schedule_at(SimTime t, std::function<void()> action);
+
+  /// Cancels a pending event. Safe to call with stale/executed ids.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue drains or `t_end` is reached; events exactly at
+  /// `t_end` do not run. Returns the number of events executed.
+  std::uint64_t run_until(SimTime t_end);
+
+  /// Runs until the queue drains. Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Executes at most one event. Returns false when the queue is empty.
+  bool step();
+
+  /// True when no events are pending.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Root seed of this run (for reporting).
+  [[nodiscard]] std::uint64_t seed() const { return root_rng_.seed(); }
+
+  /// Deterministic per-component RNG stream.
+  [[nodiscard]] Rng make_rng(std::string_view label) const {
+    return root_rng_.fork(label);
+  }
+
+  /// Total events executed so far.
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  void execute(Event e);
+
+  EventQueue queue_;
+  SimTime now_{0};
+  std::uint64_t executed_{0};
+  Rng root_rng_;
+};
+
+}  // namespace ff::sim

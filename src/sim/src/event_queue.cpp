@@ -1,0 +1,52 @@
+#include "ff/sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ff::sim {
+
+EventId EventQueue::schedule(SimTime t, std::function<void()> action) {
+  const std::uint64_t seq = next_sequence_++;
+  const EventId id{seq + 1};  // ids start at 1 so {} means "no event"
+  heap_.push_back(Entry{t, seq, id, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.insert(id.value);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (live_.erase(id.value) == 0) return false;
+  drop_dead_front();
+  return true;
+}
+
+void EventQueue::drop_dead_front() {
+  while (!heap_.empty() && live_.find(heap_.front().id.value) == live_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+Event EventQueue::pop() {
+  assert(!live_.empty());
+  drop_dead_front();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  live_.erase(e.id.value);
+  drop_dead_front();
+  return Event{e.time, e.sequence, e.id, std::move(e.action)};
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  live_.clear();
+}
+
+}  // namespace ff::sim

@@ -1,0 +1,66 @@
+#pragma once
+
+// Minimal leveled logger. Components log through this so examples can turn
+// on tracing without recompiling; benches keep it at kWarn to stay quiet.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ff {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_{LogLevel::kWarn};
+  std::mutex mutex_;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().write(level_, component_, os_.str()); }
+
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace ff
+
+#define FF_LOG(level, component)                         \
+  if (!::ff::Logger::instance().enabled(level)) {        \
+  } else                                                 \
+    ::ff::detail::LogLine(level, component)
+
+#define FF_TRACE(component) FF_LOG(::ff::LogLevel::kTrace, component)
+#define FF_DEBUG(component) FF_LOG(::ff::LogLevel::kDebug, component)
+#define FF_INFO(component) FF_LOG(::ff::LogLevel::kInfo, component)
+#define FF_WARN(component) FF_LOG(::ff::LogLevel::kWarn, component)
+#define FF_ERROR(component) FF_LOG(::ff::LogLevel::kError, component)

@@ -1,0 +1,51 @@
+#pragma once
+
+// Fixed-capacity ring buffer retaining the most recent N samples; used for
+// derivative smoothing in controllers and for telemetry tails.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace ff {
+
+template <class T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : data_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer: capacity 0");
+  }
+
+  void push(T value) {
+    data_[head_] = std::move(value);
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == data_.size(); }
+
+  /// Element `i` samples ago; 0 = newest. Throws std::out_of_range.
+  [[nodiscard]] const T& recent(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer::recent");
+    const std::size_t idx = (head_ + data_.size() - 1 - i) % data_.size();
+    return data_[idx];
+  }
+
+  /// Oldest retained element.
+  [[nodiscard]] const T& oldest() const { return recent(size_ - 1); }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace ff

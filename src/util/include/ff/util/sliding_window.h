@@ -1,0 +1,98 @@
+#pragma once
+
+// Time-based sliding windows: the controller's view of "T over the last few
+// seconds" (paper §III-A) is computed with these.
+
+#include <deque>
+
+#include "ff/util/units.h"
+
+namespace ff {
+
+/// Counts events inside a trailing time window.
+class SlidingWindowCounter {
+ public:
+  explicit SlidingWindowCounter(SimDuration window) : window_(window) {}
+
+  void add(SimTime t, double weight = 1.0) {
+    evict(t);
+    entries_.push_back({t, weight});
+    sum_ += weight;
+  }
+
+  /// Total event weight in (now - window, now].
+  [[nodiscard]] double count(SimTime now) {
+    evict(now);
+    return sum_;
+  }
+
+  /// Event weight per second over the window (i.e. a rate).
+  [[nodiscard]] double rate(SimTime now) {
+    evict(now);
+    return sum_ / (static_cast<double>(window_) / static_cast<double>(kSecond));
+  }
+
+  [[nodiscard]] SimDuration window() const { return window_; }
+  void clear() { entries_.clear(); sum_ = 0.0; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    double weight;
+  };
+
+  void evict(SimTime now) {
+    while (!entries_.empty() && entries_.front().time <= now - window_) {
+      sum_ -= entries_.front().weight;
+      entries_.pop_front();
+    }
+    if (entries_.empty()) sum_ = 0.0;  // kill accumulated FP drift
+  }
+
+  SimDuration window_;
+  std::deque<Entry> entries_;
+  double sum_{0.0};
+};
+
+/// Mean of values recorded inside a trailing time window.
+class SlidingWindowMean {
+ public:
+  explicit SlidingWindowMean(SimDuration window) : window_(window) {}
+
+  void add(SimTime t, double value) {
+    evict(t);
+    entries_.push_back({t, value});
+    sum_ += value;
+  }
+
+  [[nodiscard]] double mean(SimTime now) {
+    evict(now);
+    if (entries_.empty()) return 0.0;
+    return sum_ / static_cast<double>(entries_.size());
+  }
+
+  [[nodiscard]] std::size_t size(SimTime now) {
+    evict(now);
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    double value;
+  };
+
+  void evict(SimTime now) {
+    while (!entries_.empty() && entries_.front().time <= now - window_) {
+      sum_ -= entries_.front().value;
+      entries_.pop_front();
+    }
+    if (entries_.empty()) sum_ = 0.0;
+  }
+
+  SimDuration window_;
+  std::deque<Entry> entries_;
+  double sum_{0.0};
+};
+
+}  // namespace ff

@@ -1,0 +1,66 @@
+#pragma once
+
+// Bounded lock-free single-producer/single-consumer queue for the real-time
+// backend's frame pipelines (camera thread -> dispatch thread).
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <vector>
+
+namespace ff {
+
+/// Destructive-interference distance. Fixed at 64 (true for every
+/// mainstream x86/ARM core) rather than std::hardware_destructive_
+/// interference_size, whose value is an ABI hazard GCC warns about.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <class T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two; usable slots = capacity.
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity + 1) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer side. Returns false when full.
+  [[nodiscard]] bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buffer_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Empty optional when the queue is empty.
+  [[nodiscard]] std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T value = std::move(buffer_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  /// Approximate (racy) size; exact when called from the consumer with a
+  /// quiescent producer.
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace ff

@@ -1,0 +1,116 @@
+#pragma once
+
+// Streaming statistics used by telemetry and the benchmark harness.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ff {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm) with
+/// min/max tracking.
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;        ///< population variance
+  [[nodiscard]] double sample_variance() const; ///< unbiased (n-1) variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// P² (Jain & Chlamtac) single-quantile estimator: O(1) memory streaming
+/// percentile, accurate to a fraction of a percent for the smooth latency
+/// distributions this project produces.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.99 for p99.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  [[nodiscard]] double value() const;
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  double q_;
+  std::size_t count_{0};
+  double heights_[5]{};
+  double positions_[5]{};
+  double desired_[5]{};
+  double increments_[5]{};
+};
+
+/// Exact quantiles over a retained sample; used where the sample count is
+/// bounded (per-second telemetry windows, bench summaries).
+class SampleQuantiles {
+ public:
+  void add(double x) { values_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  /// Linear-interpolated quantile, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_{false};
+};
+
+/// Mean with a normal-approximation confidence half-width, for
+/// multi-seed experiment summaries.
+struct MeanCi {
+  double mean{0.0};
+  double half_width{0.0};  ///< z * s / sqrt(n)
+  std::size_t n{0};
+
+  [[nodiscard]] double lo() const { return mean - half_width; }
+  [[nodiscard]] double hi() const { return mean + half_width; }
+};
+
+/// Computes mean +- z*s/sqrt(n) over the samples (z defaults to 95%).
+[[nodiscard]] MeanCi mean_ci(const std::vector<double>& samples,
+                             double z = 1.96);
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest sample.
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x) {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+  }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_{0.0};
+  bool initialized_{false};
+};
+
+}  // namespace ff

@@ -1,0 +1,94 @@
+#include "ff/util/csv.h"
+
+#include <stdexcept>
+
+namespace ff {
+
+CsvWriter::CsvWriter(std::ostream& os) : os_(&os) {}
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), os_(&file_) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> cols) {
+  for (const auto c : cols) field(c);
+  end_row();
+}
+
+void CsvWriter::header(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) field(c);
+  end_row();
+}
+
+void CsvWriter::sep() {
+  if (row_started_) *os_ << ',';
+  row_started_ = true;
+}
+
+std::string CsvWriter::escape(std::string_view v) {
+  if (v.find_first_of(",\"\n") == std::string_view::npos) return std::string(v);
+  std::string out = "\"";
+  for (const char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter& CsvWriter::field(std::string_view v) {
+  sep();
+  *os_ << escape(v);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  sep();
+  *os_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  sep();
+  *os_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::size_t v) {
+  sep();
+  *os_ << v;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  *os_ << '\n';
+  row_started_ = false;
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  for (const double v : values) field(v);
+  end_row();
+}
+
+void write_bundle_csv(const SeriesBundle& bundle, const std::string& path) {
+  CsvWriter w(path);
+  w.header({"time_s", "series", "value"});
+  for (const auto& name : bundle.names()) {
+    const TimeSeries* s = bundle.find(name);
+    for (const auto& p : s->points()) {
+      w.field(sim_to_seconds(p.time)).field(name).field(p.value);
+      w.end_row();
+    }
+  }
+}
+
+void write_series_csv(const TimeSeries& series, const std::string& path) {
+  CsvWriter w(path);
+  w.header({"time_s", "value"});
+  for (const auto& p : series.points()) {
+    w.field(sim_to_seconds(p.time)).field(p.value);
+    w.end_row();
+  }
+}
+
+}  // namespace ff

@@ -1,0 +1,35 @@
+#include "ff/util/logging.h"
+
+#include <iostream>
+
+namespace ff {
+namespace {
+
+[[nodiscard]] const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  if (!enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::cerr << "[" << level_name(level) << "] " << component << ": " << message
+            << "\n";
+}
+
+}  // namespace ff

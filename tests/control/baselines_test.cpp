@@ -1,0 +1,83 @@
+#include "ff/control/baselines.h"
+
+#include <gtest/gtest.h>
+
+namespace ff::control {
+namespace {
+
+ControllerInput input(double po, double t, std::optional<bool> probe = {}) {
+  ControllerInput in;
+  in.source_fps = 30.0;
+  in.offload_rate = po;
+  in.timeout_rate = t;
+  in.probe_success = probe;
+  return in;
+}
+
+TEST(LocalOnly, AlwaysZero) {
+  LocalOnlyController ctl;
+  EXPECT_EQ(ctl.name(), "local-only");
+  EXPECT_FALSE(ctl.wants_probe());
+  EXPECT_DOUBLE_EQ(ctl.update(input(0, 0)), 0.0);
+  EXPECT_DOUBLE_EQ(ctl.update(input(30, 30)), 0.0);
+}
+
+TEST(AlwaysOffload, AlwaysFs) {
+  AlwaysOffloadController ctl;
+  EXPECT_EQ(ctl.name(), "always-offload");
+  EXPECT_DOUBLE_EQ(ctl.update(input(0, 0)), 30.0);
+  // Ignores feedback entirely, even catastrophic timeouts.
+  EXPECT_DOUBLE_EQ(ctl.update(input(30, 30)), 30.0);
+}
+
+TEST(AlwaysOffload, TracksSourceFps) {
+  AlwaysOffloadController ctl;
+  ControllerInput in = input(0, 0);
+  in.source_fps = 24.0;
+  EXPECT_DOUBLE_EQ(ctl.update(in), 24.0);
+}
+
+TEST(IntervalOffload, WantsProbe) {
+  IntervalOffloadController ctl;
+  EXPECT_TRUE(ctl.wants_probe());
+  EXPECT_EQ(ctl.name(), "all-or-nothing");
+}
+
+TEST(IntervalOffload, NoProbeYetStaysLocal) {
+  IntervalOffloadController ctl;
+  EXPECT_DOUBLE_EQ(ctl.update(input(0, 0, std::nullopt)), 0.0);
+}
+
+TEST(IntervalOffload, SuccessfulProbeOffloadsEverything) {
+  IntervalOffloadController ctl;
+  EXPECT_DOUBLE_EQ(ctl.update(input(0, 0, true)), 30.0);
+}
+
+TEST(IntervalOffload, FailedProbeGoesLocal) {
+  IntervalOffloadController ctl;
+  EXPECT_DOUBLE_EQ(ctl.update(input(30, 10, false)), 0.0);
+}
+
+TEST(IntervalOffload, AllOrNothingNeverPartial) {
+  IntervalOffloadController ctl;
+  for (const auto probe : {std::optional<bool>{}, std::optional<bool>{true},
+                           std::optional<bool>{false}}) {
+    const double po = ctl.update(input(15, 2, probe));
+    EXPECT_TRUE(po == 0.0 || po == 30.0) << "got partial rate " << po;
+  }
+}
+
+TEST(IntervalOffload, CustomMeasurePeriod) {
+  IntervalOffloadController ctl(5 * kSecond);
+  EXPECT_EQ(ctl.measure_period(), 5 * kSecond);
+}
+
+TEST(FixedRate, ClampsToFs) {
+  FixedRateController ctl(45.0);
+  EXPECT_DOUBLE_EQ(ctl.update(input(0, 0)), 30.0);
+  FixedRateController low(12.5);
+  EXPECT_DOUBLE_EQ(low.update(input(0, 0)), 12.5);
+}
+
+}  // namespace
+}  // namespace ff::control

@@ -1,0 +1,100 @@
+#include "ff/control/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ff::control {
+namespace {
+
+TimeSeries make_rise(SimTime step, double target, double rate_per_step,
+                     int steps) {
+  TimeSeries s("po");
+  double v = 0;
+  for (int i = 0; i < steps; ++i) {
+    s.record(i * step, v);
+    v = std::min(v + rate_per_step, target);
+  }
+  return s;
+}
+
+TEST(Tuner, RiseTimeDetected) {
+  // Climb 3/s toward 30: reaches 27 (90%) at t=9s.
+  const TimeSeries s = make_rise(kSecond, 30.0, 3.0, 60);
+  const ResponseMetrics m = analyze_response(s, 0, 60 * kSecond, 30.0);
+  EXPECT_NEAR(m.rise_time_s, 9.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.overshoot, 0.0);
+  EXPECT_NEAR(m.steady_mean, 30.0, 1.0);
+}
+
+TEST(Tuner, NeverRisingReportsNegative) {
+  TimeSeries s("po");
+  for (int i = 0; i < 20; ++i) s.record(i * kSecond, 5.0);
+  const ResponseMetrics m = analyze_response(s, 0, 20 * kSecond, 30.0);
+  EXPECT_LT(m.rise_time_s, 0.0);
+  EXPECT_NEAR(m.steady_mean, 5.0, 1e-9);
+}
+
+TEST(Tuner, OvershootMeasured) {
+  TimeSeries s("po");
+  for (int i = 0; i < 30; ++i) {
+    const double v = (i == 10) ? 35.0 : std::min(3.0 * i, 30.0);
+    s.record(i * kSecond, v);
+  }
+  const ResponseMetrics m = analyze_response(s, 0, 30 * kSecond, 30.0);
+  EXPECT_DOUBLE_EQ(m.overshoot, 5.0);
+}
+
+TEST(Tuner, OscillationMeasuredAfterRise) {
+  TimeSeries smooth("a"), wobble("b");
+  for (int i = 0; i < 40; ++i) {
+    smooth.record(i * kSecond, 30.0);
+    wobble.record(i * kSecond, 30.0 + ((i % 2) ? 3.0 : -3.0));
+  }
+  const auto ms = analyze_response(smooth, 0, 40 * kSecond, 30.0);
+  const auto mw = analyze_response(wobble, 0, 40 * kSecond, 30.0);
+  EXPECT_NEAR(ms.steady_oscillation, 0.0, 1e-9);
+  EXPECT_NEAR(mw.steady_oscillation, 6.0, 0.1);
+}
+
+TEST(Tuner, WindowBoundsRespected) {
+  TimeSeries s("po");
+  s.record(0, 0.0);
+  s.record(10 * kSecond, 30.0);
+  s.record(20 * kSecond, 0.0);  // outside window
+  const ResponseMetrics m = analyze_response(s, 0, 15 * kSecond, 30.0);
+  EXPECT_GE(m.rise_time_s, 0.0);
+  EXPECT_NEAR(m.steady_mean, 30.0, 1e-9);
+}
+
+TEST(Tuner, ScorePenalizesNonSettling) {
+  ResponseMetrics settles;
+  settles.rise_time_s = 9.0;
+  ResponseMetrics never;
+  never.rise_time_s = -1.0;
+  EXPECT_GT(tuning_score(never), tuning_score(settles) * 10);
+}
+
+TEST(Tuner, ScoreOrdersByOscillation) {
+  ResponseMetrics calm;
+  calm.rise_time_s = 9.0;
+  calm.steady_oscillation = 0.1;
+  ResponseMetrics wobbly = calm;
+  wobbly.steady_oscillation = 3.0;
+  EXPECT_LT(tuning_score(calm), tuning_score(wobbly));
+}
+
+TEST(Tuner, GainGridIsCrossProduct) {
+  const auto grid = gain_grid({0.1, 0.2}, {0.0, 0.26, 0.5});
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0], std::make_pair(0.1, 0.0));
+  EXPECT_EQ(grid[5], std::make_pair(0.2, 0.5));
+}
+
+TEST(Tuner, EmptyGridDimensions) {
+  EXPECT_TRUE(gain_grid({}, {0.1}).empty());
+  EXPECT_TRUE(gain_grid({0.1}, {}).empty());
+}
+
+}  // namespace
+}  // namespace ff::control

@@ -1,0 +1,82 @@
+#include "ff/core/autotune.h"
+
+#include <gtest/gtest.h>
+
+#include "ff/core/framefeedback.h"
+
+namespace ff::core {
+namespace {
+
+AutoTuneConfig small_config() {
+  AutoTuneConfig c;
+  c.scenario = Scenario::paper_tuning();
+  c.scenario.seed = 42;
+  c.scenario.duration = 45 * kSecond;  // enough for ramp + disturbance
+  c.kp_grid = {0.05, 0.2, 0.8};
+  c.kd_grid = {0.0, 0.26};
+  c.threads = 4;
+  return c;
+}
+
+TEST(AutoTune, EvaluatesFullGrid) {
+  const auto result = auto_tune(small_config());
+  EXPECT_EQ(result.all.size(), 6u);
+  // Grid order is kp-major.
+  EXPECT_DOUBLE_EQ(result.all[0].kp, 0.05);
+  EXPECT_DOUBLE_EQ(result.all[0].kd, 0.0);
+  EXPECT_DOUBLE_EQ(result.all[5].kp, 0.8);
+  EXPECT_DOUBLE_EQ(result.all[5].kd, 0.26);
+}
+
+TEST(AutoTune, BestHasMinimalScore) {
+  const auto result = auto_tune(small_config());
+  for (const auto& g : result.all) {
+    EXPECT_LE(result.best.score, g.score);
+  }
+}
+
+TEST(AutoTune, RejectsSluggishGains) {
+  // Kp = 0.05 cannot reach 90% of Fs before the disturbance; the search
+  // must not pick it.
+  const auto result = auto_tune(small_config());
+  EXPECT_GT(result.best.kp, 0.05);
+}
+
+TEST(AutoTune, WinnerReachesSetpointAndBeatsSluggishByFar) {
+  AutoTuneConfig c = small_config();
+  c.kp_grid = {0.05, 0.2, 2.0};
+  c.kd_grid = {0.0, 0.26};
+  const auto result = auto_tune(c);
+  // The winner reaches the setpoint (rise detected)...
+  EXPECT_GE(result.best.clean.rise_time_s, 0.0);
+  // ...and decisively beats the never-rising sluggish cell, whose score
+  // carries the non-settling penalty.
+  double sluggish_score = 0.0;
+  for (const auto& g : result.all) {
+    if (g.kp == 0.05 && g.kd == 0.0) sluggish_score = g.score;
+  }
+  EXPECT_LT(result.best.score * 10, sluggish_score);
+}
+
+TEST(AutoTune, EmptyGridThrows) {
+  AutoTuneConfig c = small_config();
+  c.kp_grid.clear();
+  EXPECT_THROW((void)auto_tune(c), std::invalid_argument);
+}
+
+TEST(AutoTune, MultiDeviceScenarioThrows) {
+  AutoTuneConfig c = small_config();
+  c.scenario.add_device(c.scenario.devices[0]);
+  EXPECT_THROW((void)auto_tune(c), std::invalid_argument);
+}
+
+TEST(AutoTune, DeterministicAcrossCalls) {
+  const auto a = auto_tune(small_config());
+  const auto b = auto_tune(small_config());
+  EXPECT_DOUBLE_EQ(a.best.kp, b.best.kp);
+  EXPECT_DOUBLE_EQ(a.best.kd, b.best.kd);
+  EXPECT_DOUBLE_EQ(a.best.score, b.best.score);
+}
+
+}  // namespace
+}  // namespace ff::core

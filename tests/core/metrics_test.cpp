@@ -1,0 +1,122 @@
+#include "ff/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ff::core {
+namespace {
+
+TimeSeries step_series() {
+  // 10 for t in [0,10s), 20 for [10s,20s).
+  TimeSeries s("P");
+  for (int i = 0; i < 20; ++i) {
+    s.record(i * kSecond, i < 10 ? 10.0 : 20.0);
+  }
+  return s;
+}
+
+TEST(Metrics, PhaseMeansAlignWithNetworkSchedule) {
+  net::NetemSchedule sched;
+  sched.add(0, {}, "phase-a");
+  sched.add(10 * kSecond, {}, "phase-b");
+  const auto phases = phase_means(step_series(), sched, 20 * kSecond, 0);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].label, "phase-a");
+  EXPECT_DOUBLE_EQ(phases[0].mean, 10.0);
+  EXPECT_EQ(phases[1].label, "phase-b");
+  EXPECT_DOUBLE_EQ(phases[1].mean, 20.0);
+  EXPECT_EQ(phases[1].from, 10 * kSecond);
+  EXPECT_EQ(phases[1].to, 20 * kSecond);
+}
+
+TEST(Metrics, SettleTrimsPhaseStart) {
+  net::NetemSchedule sched;
+  sched.add(0, {}, "a");
+  sched.add(10 * kSecond, {}, "b");
+  // With a 5s settle, phase b's mean skips t=10..14 (but the series is
+  // constant there so verify via phase a containing a transient).
+  TimeSeries s("P");
+  for (int i = 0; i < 20; ++i) {
+    s.record(i * kSecond, (i < 3) ? 0.0 : 10.0);  // 3s transient
+  }
+  const auto no_settle = phase_means(s, sched, 20 * kSecond, 0);
+  const auto with_settle = phase_means(s, sched, 20 * kSecond, 3 * kSecond);
+  EXPECT_LT(no_settle[0].mean, with_settle[0].mean);
+  EXPECT_DOUBLE_EQ(with_settle[0].mean, 10.0);
+}
+
+TEST(Metrics, PhaseMeansForLoadSchedule) {
+  server::LoadSchedule sched;
+  sched.add(0, Rate{0});
+  sched.add(10 * kSecond, Rate{90});
+  const auto phases = phase_means(step_series(), sched, 20 * kSecond, 0);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].label, "0 req/s");
+  EXPECT_EQ(phases[1].label, "90 req/s");
+  EXPECT_DOUBLE_EQ(phases[1].mean, 20.0);
+}
+
+TEST(Metrics, PhaseStddevComputed) {
+  net::NetemSchedule sched;
+  sched.add(0, {}, "a");
+  TimeSeries s("P");
+  s.record(0, 0.0);
+  s.record(kSecond, 10.0);
+  const auto phases = phase_means(s, sched, 2 * kSecond, 0);
+  EXPECT_DOUBLE_EQ(phases[0].stddev, 5.0);
+}
+
+DeviceResult make_device_result() {
+  DeviceResult d;
+  d.name = "dev";
+  d.controller = "x";
+  d.totals.frames_captured = 100;
+  d.totals.local_completions = 40;
+  d.totals.offload_successes = 30;
+  d.totals.offload_attempts = 50;
+  d.totals.timeouts_network = 15;
+  d.totals.timeouts_load = 5;
+  for (int i = 0; i < 10; ++i) {
+    d.series.series("P").record(i * kSecond, 20.0);
+    d.series.series("cpu").record(i * kSecond, 0.4);
+  }
+  return d;
+}
+
+TEST(Metrics, SummarizeRollsUpQoS) {
+  const QosSummary q = summarize(make_device_result());
+  EXPECT_DOUBLE_EQ(q.mean_throughput, 20.0);
+  EXPECT_DOUBLE_EQ(q.goodput_fraction, 0.7);
+  EXPECT_DOUBLE_EQ(q.timeout_fraction, 20.0 / 50.0);
+  EXPECT_DOUBLE_EQ(q.mean_cpu_utilization, 0.4);
+}
+
+TEST(Metrics, SummarizeHandlesNoOffloads) {
+  DeviceResult d;
+  d.totals.frames_captured = 10;
+  const QosSummary q = summarize(d);
+  EXPECT_DOUBLE_EQ(q.timeout_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(q.mean_throughput, 0.0);
+}
+
+TEST(Metrics, ThroughputRatio) {
+  DeviceResult a = make_device_result();  // P = 20
+  DeviceResult b;
+  for (int i = 0; i < 10; ++i) b.series.series("P").record(i * kSecond, 10.0);
+  EXPECT_DOUBLE_EQ(throughput_ratio(a, b, 0, 10 * kSecond), 2.0);
+}
+
+TEST(Metrics, ThroughputRatioZeroDenominator) {
+  DeviceResult a = make_device_result();
+  DeviceResult b;
+  for (int i = 0; i < 10; ++i) b.series.series("P").record(i * kSecond, 0.0);
+  EXPECT_DOUBLE_EQ(throughput_ratio(a, b, 0, 10 * kSecond), 0.0);
+}
+
+TEST(Metrics, ThroughputRatioMissingSeries) {
+  DeviceResult a = make_device_result();
+  DeviceResult empty;
+  EXPECT_DOUBLE_EQ(throughput_ratio(a, empty, 0, kSecond), 0.0);
+}
+
+}  // namespace
+}  // namespace ff::core

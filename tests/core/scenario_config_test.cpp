@@ -1,0 +1,158 @@
+#include "ff/core/scenario_config.h"
+
+#include <gtest/gtest.h>
+
+#include "ff/core/framefeedback.h"
+
+namespace ff::core {
+namespace {
+
+Config make_config(std::initializer_list<std::pair<const char*, const char*>> kvs) {
+  Config c;
+  for (const auto& [k, v] : kvs) c.set(k, v);
+  return c;
+}
+
+TEST(ScenarioConfig, DefaultsToIdeal) {
+  const Scenario s = scenario_from_config(Config{});
+  EXPECT_EQ(s.name, "ideal");
+  EXPECT_EQ(s.devices.size(), 1u);
+}
+
+TEST(ScenarioConfig, SelectsPaperScenarios) {
+  EXPECT_EQ(scenario_from_config(make_config({{"scenario", "paper_network"}})).name,
+            "paper-network");
+  EXPECT_EQ(scenario_from_config(make_config({{"scenario", "paper_server_load"}})).name,
+            "paper-server-load");
+  EXPECT_EQ(scenario_from_config(make_config({{"scenario", "paper_combined"}})).name,
+            "paper-combined");
+  EXPECT_EQ(scenario_from_config(make_config({{"scenario", "mixed_models"}})).name,
+            "mixed-models");
+}
+
+TEST(ScenarioConfig, UnknownScenarioThrows) {
+  EXPECT_THROW(scenario_from_config(make_config({{"scenario", "nope"}})),
+               std::invalid_argument);
+}
+
+TEST(ScenarioConfig, SeedAndDuration) {
+  const Scenario s = scenario_from_config(
+      make_config({{"seed", "99"}, {"duration_s", "12.5"}}));
+  EXPECT_EQ(s.seed, 99u);
+  EXPECT_EQ(s.duration, seconds_to_sim(12.5));
+}
+
+TEST(ScenarioConfig, DeviceReplication) {
+  const Scenario s = scenario_from_config(
+      make_config({{"devices", "5"}, {"device.fps", "24"}}));
+  ASSERT_EQ(s.devices.size(), 5u);
+  for (const auto& d : s.devices) {
+    EXPECT_DOUBLE_EQ(d.source_fps, 24.0);
+  }
+  EXPECT_NE(s.devices[0].name, s.devices[1].name);
+}
+
+TEST(ScenarioConfig, DeviceOverrides) {
+  const Scenario s = scenario_from_config(make_config(
+      {{"device.profile", "pi3b"},
+       {"device.model", "efficientnet_b0"},
+       {"device.deadline_ms", "100"},
+       {"device.quality", "60"}}));
+  EXPECT_EQ(s.devices[0].profile, models::DeviceId::kPi3B);
+  EXPECT_EQ(s.devices[0].model, models::ModelId::kEfficientNetB0);
+  EXPECT_EQ(s.devices[0].deadline, 100 * kMillisecond);
+  EXPECT_EQ(s.devices[0].frame.jpeg_quality, 60);
+}
+
+TEST(ScenarioConfig, InvalidDeviceNamesThrow) {
+  EXPECT_THROW(
+      scenario_from_config(make_config({{"device.profile", "jetson"}})),
+      std::invalid_argument);
+  EXPECT_THROW(scenario_from_config(make_config({{"device.model", "vgg"}})),
+               std::invalid_argument);
+}
+
+TEST(ScenarioConfig, ConstantNetworkOverride) {
+  const Scenario s = scenario_from_config(make_config(
+      {{"net.bandwidth_mbps", "4"}, {"net.loss", "0.07"}, {"net.delay_ms", "5"}}));
+  const auto c = s.network.at(0);
+  EXPECT_DOUBLE_EQ(c.bandwidth.bits_per_second, 4e6);
+  EXPECT_DOUBLE_EQ(c.loss_probability, 0.07);
+  EXPECT_EQ(c.propagation_delay, 5 * kMillisecond);
+  EXPECT_DOUBLE_EQ(s.uplink_template.initial.loss_probability, 0.07);
+}
+
+TEST(ScenarioConfig, BackgroundLoadOverride) {
+  const Scenario s =
+      scenario_from_config(make_config({{"load.rate", "120"}}));
+  EXPECT_DOUBLE_EQ(s.background_load.at(0).per_second, 120.0);
+}
+
+TEST(ScenarioConfig, SharedMediumFlag) {
+  EXPECT_TRUE(scenario_from_config(make_config({{"shared_medium", "true"}}))
+                  .shared_uplink_medium);
+}
+
+TEST(ControllerConfig, BuildsEveryKnownController) {
+  for (const char* name :
+       {"frame-feedback", "local-only", "always-offload", "all-or-nothing",
+        "aimd", "quality-adapt", "fixed", "reservation"}) {
+    const auto factory =
+        controller_factory_from_config(make_config({{"controller", name}}));
+    const auto ctl = factory(0);
+    ASSERT_NE(ctl, nullptr) << name;
+  }
+}
+
+TEST(ControllerConfig, UnknownControllerThrows) {
+  EXPECT_THROW(
+      controller_factory_from_config(make_config({{"controller", "magic"}})),
+      std::invalid_argument);
+}
+
+TEST(ControllerConfig, GainOverridesApply) {
+  const auto factory = controller_factory_from_config(make_config(
+      {{"controller", "frame-feedback"}, {"controller.kp", "0.7"},
+       {"controller.kd", "0.1"}}));
+  auto ctl = factory(0);
+  const auto* ff = dynamic_cast<control::FrameFeedbackController*>(ctl.get());
+  ASSERT_NE(ff, nullptr);
+  EXPECT_DOUBLE_EQ(ff->config().kp, 0.7);
+  EXPECT_DOUBLE_EQ(ff->config().kd, 0.1);
+}
+
+TEST(ControllerConfig, FixedRate) {
+  const auto factory = controller_factory_from_config(
+      make_config({{"controller", "fixed"}, {"controller.rate", "11"}}));
+  auto ctl = factory(0);
+  control::ControllerInput in;
+  in.source_fps = 30.0;
+  EXPECT_DOUBLE_EQ(ctl->update(in), 11.0);
+}
+
+TEST(ControllerConfig, ReservationControllersShareOneManager) {
+  const auto factory = controller_factory_from_config(make_config(
+      {{"controller", "reservation"}, {"controller.capacity_fps", "45"}}));
+  auto a = factory(0);
+  auto b = factory(1);
+  control::ControllerInput in;
+  in.source_fps = 30.0;
+  (void)a->update(in);
+  (void)b->update(in);
+  // Shared 45*0.9 = 40.5 capacity split two ways.
+  EXPECT_DOUBLE_EQ(a->update(in), 20.25);
+}
+
+TEST(ScenarioConfig, EndToEndRunFromConfig) {
+  Config c = make_config({{"scenario", "ideal"},
+                          {"duration_s", "10"},
+                          {"seed", "4"},
+                          {"controller", "frame-feedback"}});
+  const auto r = run_experiment(scenario_from_config(c),
+                                controller_factory_from_config(c));
+  EXPECT_EQ(r.duration, 10 * kSecond);
+  EXPECT_GT(r.devices[0].mean_throughput(), 10.0);
+}
+
+}  // namespace
+}  // namespace ff::core

@@ -1,0 +1,82 @@
+#include "ff/core/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace ff::core {
+namespace {
+
+TEST(Scenario, PaperNetworkMatchesPaperSetup) {
+  const Scenario s = Scenario::paper_network();
+  // Three concurrent Pis (paper §IV-A), 4000 frames at 30 fps.
+  ASSERT_EQ(s.devices.size(), 3u);
+  for (const auto& d : s.devices) {
+    EXPECT_DOUBLE_EQ(d.source_fps, 30.0);
+    EXPECT_EQ(d.frame_limit, 4000u);
+    EXPECT_EQ(d.model, models::ModelId::kMobileNetV3Small);
+    EXPECT_EQ(d.deadline, 250 * kMillisecond);
+  }
+  EXPECT_EQ(s.network.phases().size(), 6u);  // Table V
+  EXPECT_TRUE(s.background_load.empty());
+  // Long enough for 4000 frames (133.3 s).
+  EXPECT_GE(s.duration, 134 * kSecond);
+}
+
+TEST(Scenario, PaperDeviceTrioCoversTableII) {
+  const auto trio = paper_device_trio();
+  ASSERT_EQ(trio.size(), 3u);
+  bool pi3 = false, pi4a = false, pi4b = false;
+  for (const auto& d : trio) {
+    pi3 |= d.profile == models::DeviceId::kPi3B;
+    pi4a |= d.profile == models::DeviceId::kPi4BR12;
+    pi4b |= d.profile == models::DeviceId::kPi4BR14;
+  }
+  EXPECT_TRUE(pi3 && pi4a && pi4b);
+}
+
+TEST(Scenario, PaperServerLoadHasTableVISchedule) {
+  const Scenario s = Scenario::paper_server_load();
+  EXPECT_EQ(s.background_load.phases().size(), 9u);
+  EXPECT_DOUBLE_EQ(s.background_load.at(55 * kSecond).per_second, 150.0);
+  // Clean network: load is the only stressor.
+  EXPECT_DOUBLE_EQ(s.network.at(0).loss_probability, 0.0);
+}
+
+TEST(Scenario, PaperTuningInjectsLossAt27s) {
+  const Scenario s = Scenario::paper_tuning();
+  ASSERT_EQ(s.devices.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.network.at(26 * kSecond).loss_probability, 0.0);
+  EXPECT_DOUBLE_EQ(s.network.at(28 * kSecond).loss_probability, 0.07);
+  EXPECT_EQ(s.devices[0].frame_limit, 0u);  // streams the whole window
+}
+
+TEST(Scenario, IdealIsSingleCleanDevice) {
+  const Scenario s = Scenario::ideal(10 * kSecond);
+  ASSERT_EQ(s.devices.size(), 1u);
+  EXPECT_EQ(s.duration, 10 * kSecond);
+  EXPECT_DOUBLE_EQ(s.network.at(0).loss_probability, 0.0);
+}
+
+TEST(Scenario, AddDeviceAppends) {
+  Scenario s = Scenario::ideal();
+  device::DeviceConfig d;
+  d.name = "extra";
+  const std::size_t idx = s.add_device(d);
+  EXPECT_EQ(idx, 1u);
+  EXPECT_EQ(s.devices[1].name, "extra");
+}
+
+TEST(Scenario, SetFrameSpecAppliesToAll) {
+  Scenario s = Scenario::paper_network();
+  const models::FrameSpec spec{320, 320, 60};
+  s.set_frame_spec(spec);
+  for (const auto& d : s.devices) EXPECT_EQ(d.frame, spec);
+}
+
+TEST(Scenario, LinkTemplatesTrackInitialConditions) {
+  const Scenario s = Scenario::paper_network(Bandwidth::mbps(2.0));
+  EXPECT_DOUBLE_EQ(s.uplink_template.initial.bandwidth.bits_per_second, 20e6);
+  EXPECT_DOUBLE_EQ(s.downlink_template.initial.bandwidth.bits_per_second, 20e6);
+}
+
+}  // namespace
+}  // namespace ff::core

@@ -1,0 +1,108 @@
+#include "ff/device/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+namespace ff::device {
+namespace {
+
+int count_offloads(Dispatcher& d, int frames) {
+  int n = 0;
+  for (int i = 0; i < frames; ++i) {
+    if (d.route_next() == Route::kOffload) ++n;
+  }
+  return n;
+}
+
+TEST(Dispatcher, ZeroRateNeverOffloads) {
+  Dispatcher d(30.0, 0.0);
+  EXPECT_EQ(count_offloads(d, 300), 0);
+}
+
+TEST(Dispatcher, FullRateAlwaysOffloads) {
+  Dispatcher d(30.0, 30.0);
+  EXPECT_EQ(count_offloads(d, 300), 300);
+}
+
+TEST(Dispatcher, HalfRateAlternates) {
+  Dispatcher d(30.0, 15.0);
+  std::vector<Route> routes;
+  for (int i = 0; i < 6; ++i) routes.push_back(d.route_next());
+  // Error diffusion: every second frame offloads.
+  int offloads = 0;
+  for (std::size_t i = 0; i < routes.size(); i += 2) {
+    EXPECT_NE(routes[i], routes[i + 1]);
+    offloads += (routes[i] == Route::kOffload) + (routes[i + 1] == Route::kOffload);
+  }
+  EXPECT_EQ(offloads, 3);
+}
+
+TEST(Dispatcher, ThirdRateEveryThird) {
+  Dispatcher d(30.0, 10.0);
+  EXPECT_EQ(count_offloads(d, 30), 10);
+  EXPECT_EQ(count_offloads(d, 300), 100);
+}
+
+TEST(Dispatcher, FractionalRateConvergesLongRun) {
+  Dispatcher d(30.0, 7.7);
+  const int frames = 3000;  // 100 seconds
+  const int offloads = count_offloads(d, frames);
+  EXPECT_NEAR(static_cast<double>(offloads) / 100.0, 7.7, 0.05);
+}
+
+TEST(Dispatcher, ErrorDiffusionHasLowVariance) {
+  // Over any window of 30 frames the offload count may deviate from the
+  // target by at most 1 (Bresenham property).
+  Dispatcher d(30.0, 12.0);
+  for (int window = 0; window < 50; ++window) {
+    const int n = count_offloads(d, 30);
+    EXPECT_GE(n, 11);
+    EXPECT_LE(n, 13);
+  }
+}
+
+TEST(Dispatcher, RateClampedToSourceFps) {
+  Dispatcher d(30.0, 100.0);
+  EXPECT_DOUBLE_EQ(d.offload_rate(), 30.0);
+  d.set_offload_rate(-5.0);
+  EXPECT_DOUBLE_EQ(d.offload_rate(), 0.0);
+}
+
+TEST(Dispatcher, RateChangeTakesEffect) {
+  Dispatcher d(30.0, 0.0);
+  EXPECT_EQ(count_offloads(d, 30), 0);
+  d.set_offload_rate(30.0);
+  EXPECT_EQ(count_offloads(d, 30), 30);
+}
+
+TEST(Dispatcher, ZeroFpsAlwaysLocal) {
+  Dispatcher d(0.0, 0.0);
+  EXPECT_EQ(d.route_next(), Route::kLocal);
+}
+
+TEST(Dispatcher, ResetClearsAccumulator) {
+  Dispatcher d(30.0, 15.0);
+  (void)d.route_next();  // accumulator at 0.5... after one frame
+  d.reset();
+  Dispatcher fresh(30.0, 15.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(d.route_next(), fresh.route_next());
+  }
+}
+
+// Parameterized: achieved fraction equals Po/Fs across the whole range.
+class DispatcherFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DispatcherFractionSweep, AchievedMatchesTarget) {
+  const double po = GetParam();
+  Dispatcher d(30.0, po);
+  const int frames = 30000;
+  const int offloads = count_offloads(d, frames);
+  EXPECT_NEAR(static_cast<double>(offloads) / frames, po / 30.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, DispatcherFractionSweep,
+                         ::testing::Values(0.0, 1.0, 3.0, 7.5, 10.0, 15.0,
+                                           22.5, 29.0, 30.0));
+
+}  // namespace
+}  // namespace ff::device

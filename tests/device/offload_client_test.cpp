@@ -1,0 +1,212 @@
+#include "ff/device/offload_client.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+namespace ff::device {
+namespace {
+
+/// Scriptable transport: respond(id) after a delay, reject, fail, or stay
+/// silent. Records cancels.
+class FakeTransport final : public OffloadTransport {
+ public:
+  explicit FakeTransport(sim::Simulator& sim) : sim_(sim) {}
+
+  void offload(std::uint64_t id, Bytes) override {
+    ++offloads_;
+    const auto it = scripts_.find(id);
+    if (it == scripts_.end()) return;  // silent
+    const Script s = it->second;
+    if (s.fail) {
+      (void)sim_.schedule_in(s.delay, [this, id] { on_failure_(id); });
+    } else {
+      (void)sim_.schedule_in(s.delay,
+                             [this, id, rejected = s.rejected] {
+                               on_response_(id, rejected);
+                             });
+    }
+  }
+
+  void cancel(std::uint64_t id) override { cancels_.push_back(id); }
+  void set_on_response(ResponseFn fn) override { on_response_ = std::move(fn); }
+  void set_on_failure(FailureFn fn) override { on_failure_ = std::move(fn); }
+
+  struct Script {
+    SimDuration delay{0};
+    bool rejected{false};
+    bool fail{false};
+  };
+
+  void script(std::uint64_t id, Script s) { scripts_[id] = s; }
+
+  std::map<std::uint64_t, Script> scripts_;
+  std::vector<std::uint64_t> cancels_;
+  int offloads_{0};
+
+ private:
+  sim::Simulator& sim_;
+  ResponseFn on_response_;
+  FailureFn on_failure_;
+};
+
+struct Rig {
+  sim::Simulator sim;
+  FakeTransport transport{sim};
+  Telemetry telemetry{2 * kSecond};
+  OffloadClient client{sim, transport, telemetry,
+                       OffloadClientConfig{250 * kMillisecond}};
+};
+
+TEST(OffloadClient, ResponseWithinDeadlineIsSuccess) {
+  Rig rig;
+  rig.transport.script(1, {100 * kMillisecond, false, false});
+  rig.client.offload_frame(1, 0, Bytes{1000});
+  rig.sim.run();
+  EXPECT_EQ(rig.client.stats().successes, 1u);
+  EXPECT_EQ(rig.telemetry.totals().offload_successes, 1u);
+  EXPECT_EQ(rig.telemetry.totals().timeouts(), 0u);
+  EXPECT_EQ(rig.client.in_flight(), 0u);
+}
+
+TEST(OffloadClient, LatencyMeasuredFromCapture) {
+  Rig rig;
+  rig.transport.script(1, {100 * kMillisecond, false, false});
+  // Frame captured at t=0 but offloaded at t=100ms (encode etc.).
+  (void)rig.sim.schedule_at(100 * kMillisecond, [&] {
+    rig.client.offload_frame(1, 0, Bytes{1000});
+  });
+  rig.sim.run();
+  EXPECT_EQ(rig.client.stats().successes, 1u);
+  EXPECT_DOUBLE_EQ(rig.telemetry.mean_offload_latency_us(rig.sim.now()),
+                   200.0 * kMillisecond);
+}
+
+TEST(OffloadClient, NoResponseTimesOutAtDeadline) {
+  Rig rig;
+  rig.client.offload_frame(1, 0, Bytes{1000});  // silent transport
+  rig.sim.run();
+  EXPECT_EQ(rig.sim.now(), 250 * kMillisecond);
+  EXPECT_EQ(rig.client.stats().timeouts_network, 1u);
+  EXPECT_EQ(rig.telemetry.totals().timeouts_network, 1u);
+  // Deadline expiry cancels the transport work.
+  ASSERT_EQ(rig.transport.cancels_.size(), 1u);
+  EXPECT_EQ(rig.transport.cancels_[0], 1u);
+}
+
+TEST(OffloadClient, LateResponseCountsOnceAsTimeout) {
+  Rig rig;
+  rig.transport.script(1, {400 * kMillisecond, false, false});
+  rig.client.offload_frame(1, 0, Bytes{1000});
+  rig.sim.run();
+  EXPECT_EQ(rig.client.stats().timeouts_network, 1u);
+  EXPECT_EQ(rig.client.stats().successes, 0u);
+  EXPECT_EQ(rig.client.stats().late_responses, 1u);
+  EXPECT_EQ(rig.telemetry.totals().timeouts(), 1u);
+}
+
+TEST(OffloadClient, RejectionIsLoadTimeout) {
+  Rig rig;
+  rig.transport.script(1, {50 * kMillisecond, true, false});
+  rig.client.offload_frame(1, 0, Bytes{1000});
+  rig.sim.run();
+  EXPECT_EQ(rig.client.stats().timeouts_load, 1u);
+  EXPECT_EQ(rig.client.stats().timeouts_network, 0u);
+  EXPECT_EQ(rig.telemetry.totals().timeouts_load, 1u);
+}
+
+TEST(OffloadClient, TransportFailureIsNetworkTimeout) {
+  Rig rig;
+  rig.transport.script(1, {50 * kMillisecond, false, true});
+  rig.client.offload_frame(1, 0, Bytes{1000});
+  rig.sim.run();
+  EXPECT_EQ(rig.client.stats().timeouts_network, 1u);
+  // Resolved before deadline; no double counting at deadline.
+  EXPECT_EQ(rig.telemetry.totals().timeouts(), 1u);
+}
+
+TEST(OffloadClient, PipelinedFramesTrackedIndependently) {
+  Rig rig;
+  rig.transport.script(1, {100 * kMillisecond, false, false});
+  rig.transport.script(2, {0, false, true});
+  // 3 stays silent -> deadline timeout.
+  rig.client.offload_frame(1, 0, Bytes{1000});
+  rig.client.offload_frame(2, 0, Bytes{1000});
+  rig.client.offload_frame(3, 0, Bytes{1000});
+  EXPECT_EQ(rig.client.in_flight(), 3u);
+  rig.sim.run();
+  EXPECT_EQ(rig.client.stats().successes, 1u);
+  EXPECT_EQ(rig.client.stats().timeouts_network, 2u);
+}
+
+TEST(OffloadClient, ProbeSuccessCallback) {
+  Rig rig;
+  rig.transport.script(100, {50 * kMillisecond, false, false});
+  std::optional<bool> result;
+  rig.client.send_probe(100, Bytes{1000}, [&](bool ok) { result = ok; });
+  rig.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(*result);
+  EXPECT_EQ(rig.client.stats().probes_ok, 1u);
+  // Probes never touch throughput/timeout telemetry.
+  EXPECT_EQ(rig.telemetry.totals().offload_successes, 0u);
+  EXPECT_EQ(rig.telemetry.totals().timeouts(), 0u);
+}
+
+TEST(OffloadClient, ProbeTimeoutReportsFalse) {
+  Rig rig;
+  std::optional<bool> result;
+  rig.client.send_probe(100, Bytes{1000}, [&](bool ok) { result = ok; });
+  rig.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(*result);
+  EXPECT_EQ(rig.client.stats().probes_failed, 1u);
+  EXPECT_EQ(rig.telemetry.totals().timeouts(), 0u);
+}
+
+TEST(OffloadClient, ProbeRejectionReportsFalse) {
+  Rig rig;
+  rig.transport.script(100, {10 * kMillisecond, true, false});
+  std::optional<bool> result;
+  rig.client.send_probe(100, Bytes{1000}, [&](bool ok) { result = ok; });
+  rig.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(*result);
+}
+
+TEST(OffloadClient, ProbeTransportFailureReportsFalse) {
+  Rig rig;
+  rig.transport.script(100, {10 * kMillisecond, false, true});
+  std::optional<bool> result;
+  rig.client.send_probe(100, Bytes{1000}, [&](bool ok) { result = ok; });
+  rig.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(*result);
+}
+
+TEST(OffloadClient, UnknownResponseIgnored) {
+  Rig rig;
+  rig.transport.script(999, {10 * kMillisecond, false, false});
+  rig.client.offload_frame(1, 0, Bytes{1000});
+  // A response for a frame we never sent must not crash or count.
+  rig.transport.offload(999, Bytes{0});
+  rig.sim.run();
+  EXPECT_EQ(rig.client.stats().successes, 0u);
+  EXPECT_GE(rig.client.stats().late_responses, 1u);
+}
+
+TEST(OffloadClient, ExactDeadlineTieIsViolation) {
+  Rig rig;
+  // Response scheduled at exactly the deadline instant: the deadline event
+  // was scheduled first, so it wins the tie -- "before its deadline" is
+  // strict.
+  rig.transport.script(1, {250 * kMillisecond, false, false});
+  rig.client.offload_frame(1, 0, Bytes{1000});
+  rig.sim.run();
+  EXPECT_EQ(rig.client.stats().timeouts_network, 1u);
+  EXPECT_EQ(rig.client.stats().successes, 0u);
+}
+
+}  // namespace
+}  // namespace ff::device

@@ -1,0 +1,87 @@
+#include "ff/device/telemetry.h"
+
+#include <gtest/gtest.h>
+
+namespace ff::device {
+namespace {
+
+TEST(Telemetry, RatesOverWindow) {
+  Telemetry t(2 * kSecond);
+  for (int i = 0; i < 10; ++i) {
+    t.record_local_completion(i * kSecond / 5);  // 10 in 2s
+  }
+  EXPECT_DOUBLE_EQ(t.local_rate(2 * kSecond - 1), 5.0);
+}
+
+TEST(Telemetry, ThroughputIsLocalPlusOffload) {
+  Telemetry t(kSecond);
+  t.record_local_completion(0);
+  t.record_local_completion(0);
+  t.record_offload_success(0, 100 * kMillisecond);
+  EXPECT_DOUBLE_EQ(t.throughput(0), 3.0);
+}
+
+TEST(Telemetry, TimeoutRateSplitsNetworkAndLoad) {
+  Telemetry t(kSecond);
+  t.record_timeout_network(0);
+  t.record_timeout_network(0);
+  t.record_timeout_load(0);
+  EXPECT_DOUBLE_EQ(t.network_timeout_rate(0), 2.0);
+  EXPECT_DOUBLE_EQ(t.load_timeout_rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.timeout_rate(0), 3.0);
+}
+
+TEST(Telemetry, OldEventsLeaveWindow) {
+  Telemetry t(2 * kSecond);
+  t.record_timeout_network(0);
+  EXPECT_DOUBLE_EQ(t.timeout_rate(kSecond), 0.5);
+  EXPECT_DOUBLE_EQ(t.timeout_rate(3 * kSecond), 0.0);
+}
+
+TEST(Telemetry, TotalsAreCumulative) {
+  Telemetry t(kSecond);
+  t.record_frame_captured(0);
+  t.record_frame_captured(10 * kSecond);
+  t.record_local_completion(20 * kSecond);
+  t.record_offload_attempt(30 * kSecond);
+  t.record_offload_success(30 * kSecond, kMillisecond);
+  t.record_timeout_network(40 * kSecond);
+  t.record_timeout_load(50 * kSecond);
+  t.record_local_drop(60 * kSecond);
+
+  const TelemetryTotals& totals = t.totals();
+  EXPECT_EQ(totals.frames_captured, 2u);
+  EXPECT_EQ(totals.local_completions, 1u);
+  EXPECT_EQ(totals.offload_attempts, 1u);
+  EXPECT_EQ(totals.offload_successes, 1u);
+  EXPECT_EQ(totals.timeouts_network, 1u);
+  EXPECT_EQ(totals.timeouts_load, 1u);
+  EXPECT_EQ(totals.local_drops, 1u);
+  EXPECT_EQ(totals.timeouts(), 2u);
+  EXPECT_EQ(totals.successes(), 2u);
+}
+
+TEST(Telemetry, MeanOffloadLatency) {
+  Telemetry t(kSecond);
+  t.record_offload_success(0, 100 * kMillisecond);
+  t.record_offload_success(0, 200 * kMillisecond);
+  EXPECT_DOUBLE_EQ(t.mean_offload_latency_us(0), 150.0 * kMillisecond);
+}
+
+TEST(Telemetry, CaptureRateTracksFs) {
+  Telemetry t(2 * kSecond);
+  for (int i = 0; i < 60; ++i) t.record_frame_captured(i * kSecond / 30);
+  EXPECT_NEAR(t.capture_rate(2 * kSecond - 1), 30.0, 0.6);
+}
+
+TEST(Telemetry, AttemptRateSeparateFromSuccessRate) {
+  Telemetry t(kSecond);
+  t.record_offload_attempt(0);
+  t.record_offload_attempt(0);
+  t.record_offload_success(0, kMillisecond);
+  EXPECT_DOUBLE_EQ(t.offload_attempt_rate(0), 2.0);
+  EXPECT_DOUBLE_EQ(t.offload_success_rate(0), 1.0);
+}
+
+}  // namespace
+}  // namespace ff::device

@@ -1,0 +1,94 @@
+#include "ff/models/device_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace ff::models {
+namespace {
+
+TEST(DeviceProfile, TableIILocalRates) {
+  // Paper Table II, verbatim.
+  EXPECT_DOUBLE_EQ(get_device(DeviceId::kPi3B).local_rate(ModelId::kMobileNetV3Small), 5.5);
+  EXPECT_DOUBLE_EQ(get_device(DeviceId::kPi4BR12).local_rate(ModelId::kMobileNetV3Small), 13.0);
+  EXPECT_DOUBLE_EQ(get_device(DeviceId::kPi4BR14).local_rate(ModelId::kMobileNetV3Small), 13.4);
+  EXPECT_DOUBLE_EQ(get_device(DeviceId::kPi3B).local_rate(ModelId::kEfficientNetB0), 1.8);
+  EXPECT_DOUBLE_EQ(get_device(DeviceId::kPi4BR12).local_rate(ModelId::kEfficientNetB0), 2.5);
+  EXPECT_DOUBLE_EQ(get_device(DeviceId::kPi4BR14).local_rate(ModelId::kEfficientNetB0), 4.2);
+}
+
+TEST(DeviceProfile, TableIIHardware) {
+  const DeviceProfile& pi3 = get_device(DeviceId::kPi3B);
+  EXPECT_EQ(pi3.cpus, 4);
+  EXPECT_EQ(pi3.clock_mhz, 1200);
+  EXPECT_EQ(get_device(DeviceId::kPi4BR12).clock_mhz, 1500);
+  EXPECT_EQ(get_device(DeviceId::kPi4BR14).clock_mhz, 1800);
+}
+
+TEST(DeviceProfile, AllDevicesBelowSourceFrameRate) {
+  // The paper's core assumption: Pl < Fs for every device/model pair.
+  for (const auto& d : all_devices()) {
+    for (const auto& m : all_models()) {
+      EXPECT_LT(d.local_rate(m.id), 30.0)
+          << d.name << " / " << m.name;
+    }
+  }
+}
+
+TEST(DeviceProfile, DerivedModelsScaleByRelativeCost) {
+  const DeviceProfile& d = get_device(DeviceId::kPi4BR12);
+  // MobileNetV3Large derived from Small via relative cost.
+  const double large = d.local_rate(ModelId::kMobileNetV3Large);
+  EXPECT_LT(large, d.local_rate(ModelId::kMobileNetV3Small));
+  EXPECT_GT(large, 0.0);
+  // EfficientNetB4 far slower than B0.
+  EXPECT_LT(d.local_rate(ModelId::kEfficientNetB4),
+            d.local_rate(ModelId::kEfficientNetB0));
+}
+
+TEST(DeviceProfile, LatencyIsInverseRate) {
+  const DeviceProfile& d = get_device(DeviceId::kPi3B);
+  EXPECT_NEAR(d.local_latency_s(ModelId::kMobileNetV3Small), 1.0 / 5.5, 1e-12);
+}
+
+TEST(DeviceProfile, ParseRoundTrip) {
+  for (const auto& d : all_devices()) {
+    EXPECT_EQ(parse_device(d.name), d.id);
+  }
+  EXPECT_THROW((void)parse_device("jetson"), std::invalid_argument);
+}
+
+TEST(DeviceProfile, FasterPiIsFaster) {
+  EXPECT_GT(get_device(DeviceId::kPi4BR14).local_rate(ModelId::kMobileNetV3Small),
+            get_device(DeviceId::kPi3B).local_rate(ModelId::kMobileNetV3Small));
+}
+
+TEST(CpuUtilization, PaperEndpoints) {
+  // §II-A: 50.2% fully local, 22.3% fully offloading.
+  EXPECT_NEAR(device_cpu_utilization(1.0, 0.0), 0.502, 1e-9);
+  EXPECT_NEAR(device_cpu_utilization(0.0, 1.0), 0.223, 1e-9);
+}
+
+TEST(CpuUtilization, IdleFloor) {
+  const double idle = device_cpu_utilization(0.0, 0.0);
+  EXPECT_GT(idle, 0.0);
+  EXPECT_LT(idle, 0.15);
+}
+
+TEST(CpuUtilization, MonotoneInBothInputs) {
+  EXPECT_LT(device_cpu_utilization(0.2, 0.0), device_cpu_utilization(0.8, 0.0));
+  EXPECT_LT(device_cpu_utilization(0.0, 0.2), device_cpu_utilization(0.0, 0.8));
+}
+
+TEST(CpuUtilization, ClampsInputs) {
+  EXPECT_DOUBLE_EQ(device_cpu_utilization(5.0, 0.0),
+                   device_cpu_utilization(1.0, 0.0));
+  EXPECT_DOUBLE_EQ(device_cpu_utilization(-1.0, -1.0),
+                   device_cpu_utilization(0.0, 0.0));
+}
+
+TEST(CpuUtilization, OffloadingCheaperThanLocal) {
+  // The reason offloading helps battery: full offload < full local.
+  EXPECT_LT(device_cpu_utilization(0.0, 1.0), device_cpu_utilization(1.0, 0.0));
+}
+
+}  // namespace
+}  // namespace ff::models

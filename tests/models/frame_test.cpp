@@ -1,0 +1,115 @@
+#include "ff/models/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace ff::models {
+namespace {
+
+TEST(Frame, BytesGrowWithResolution) {
+  FrameSpec small{224, 224, 75};
+  FrameSpec big{448, 448, 75};
+  EXPECT_GT(frame_bytes(big).count, 3 * frame_bytes(small).count);
+}
+
+TEST(Frame, BytesGrowWithQuality) {
+  FrameSpec lo{224, 224, 30};
+  FrameSpec hi{224, 224, 95};
+  EXPECT_GT(frame_bytes(hi).count, frame_bytes(lo).count);
+}
+
+TEST(Frame, DefaultSpecMatchesDesignCalibration) {
+  // DESIGN.md: default frame ~29 KB so Table V's 4 Mbps phase supports
+  // roughly half the 30 fps stream.
+  const Bytes b = frame_bytes(FrameSpec{});
+  EXPECT_GT(b.count, 24000);
+  EXPECT_LT(b.count, 34000);
+}
+
+TEST(Frame, Q75At224IsRealisticJpegSize) {
+  const Bytes b = frame_bytes(FrameSpec{224, 224, 75});
+  // libjpeg-ish: 10-25 KB for photographic 224x224 at q75.
+  EXPECT_GT(b.count, 10000);
+  EXPECT_LT(b.count, 25000);
+}
+
+TEST(Frame, MinimumFrameSizeFloor) {
+  EXPECT_GE(frame_bytes(FrameSpec{1, 1, 1}).count, 64);
+}
+
+TEST(Frame, BytesPerPixelMonotoneInQuality) {
+  double prev = 0.0;
+  for (int q = 1; q <= 100; q += 9) {
+    const double bpp = jpeg_bytes_per_pixel(q);
+    EXPECT_GT(bpp, prev);
+    prev = bpp;
+  }
+}
+
+TEST(Frame, QualityClamped) {
+  EXPECT_DOUBLE_EQ(jpeg_bytes_per_pixel(-5), jpeg_bytes_per_pixel(1));
+  EXPECT_DOUBLE_EQ(jpeg_bytes_per_pixel(500), jpeg_bytes_per_pixel(100));
+}
+
+TEST(Accuracy, NativeResolutionFullQualityIsBase) {
+  const ModelSpec& m = get_model(ModelId::kMobileNetV3Small);
+  EXPECT_NEAR(effective_accuracy(m, {224, 224, 90}), m.top1_accuracy, 1e-9);
+}
+
+TEST(Accuracy, LowResolutionHurts) {
+  const ModelSpec& m = get_model(ModelId::kEfficientNetB0);
+  EXPECT_LT(effective_accuracy(m, {112, 112, 90}),
+            effective_accuracy(m, {224, 224, 90}));
+  EXPECT_LT(effective_accuracy(m, {56, 56, 90}),
+            effective_accuracy(m, {112, 112, 90}));
+}
+
+TEST(Accuracy, HigherThanNativeHelpsSlightly) {
+  // §II-D: capturing above native resolution can improve accuracy a bit.
+  const ModelSpec& m = get_model(ModelId::kEfficientNetB4);
+  const double native = effective_accuracy(m, {380, 380, 90});
+  const double above = effective_accuracy(m, {760, 760, 90});
+  EXPECT_GT(above, native);
+  EXPECT_LT(above, native * 1.05);  // "slightly"
+}
+
+TEST(Accuracy, HeavyCompressionHurts) {
+  const ModelSpec& m = get_model(ModelId::kMobileNetV3Large);
+  EXPECT_LT(effective_accuracy(m, {224, 224, 15}),
+            effective_accuracy(m, {224, 224, 80}));
+}
+
+TEST(Accuracy, MildCompressionIsFree) {
+  const ModelSpec& m = get_model(ModelId::kMobileNetV3Large);
+  EXPECT_NEAR(effective_accuracy(m, {224, 224, 70}),
+              effective_accuracy(m, {224, 224, 95}), 1e-9);
+}
+
+TEST(Accuracy, AlwaysInUnitInterval) {
+  for (const auto& m : all_models()) {
+    for (int side : {16, 112, 224, 380, 1024}) {
+      for (int q : {1, 40, 75, 100}) {
+        const double a = effective_accuracy(m, {side, side, q});
+        EXPECT_GE(a, 0.0);
+        EXPECT_LE(a, 1.0);
+      }
+    }
+  }
+}
+
+TEST(EncodeTime, ScalesWithPixels) {
+  const SimDuration t224 = encode_time({224, 224, 75});
+  const SimDuration t448 = encode_time({448, 448, 75});
+  EXPECT_NEAR(static_cast<double>(t448), 4.0 * static_cast<double>(t224),
+              static_cast<double>(t224) * 0.01);
+  // ~3 ms at 224.
+  EXPECT_NEAR(static_cast<double>(t224), 3000.0, 10.0);
+}
+
+TEST(ResultPayload, IsSmall) {
+  // Results must be far smaller than frames: the asymmetry that makes
+  // offloading viable on asymmetric links.
+  EXPECT_LT(kResultBytes, frame_bytes(FrameSpec{}).count / 10);
+}
+
+}  // namespace
+}  // namespace ff::models

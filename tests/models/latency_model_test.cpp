@@ -1,0 +1,77 @@
+#include "ff/models/latency_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ff::models {
+namespace {
+
+TEST(LocalLatencyModel, MeanMatchesTableII) {
+  const DeviceProfile& d = get_device(DeviceId::kPi4BR12);
+  LocalLatencyModel m(d, ModelId::kMobileNetV3Small, Rng(1));
+  // Pl = 13 fps -> ~76923 us per frame.
+  EXPECT_NEAR(static_cast<double>(m.mean()), 1e6 / 13.0, 1.0);
+  EXPECT_NEAR(m.rate(), 13.0, 0.01);
+}
+
+TEST(LocalLatencyModel, SampleMeanConvergesToConfiguredMean) {
+  const DeviceProfile& d = get_device(DeviceId::kPi3B);
+  LocalLatencyModel m(d, ModelId::kMobileNetV3Small, Rng(2), 0.1);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(m.sample());
+  EXPECT_NEAR(sum / n, static_cast<double>(m.mean()),
+              0.01 * static_cast<double>(m.mean()));
+}
+
+TEST(LocalLatencyModel, ZeroJitterIsDeterministic) {
+  const DeviceProfile& d = get_device(DeviceId::kPi4BR14);
+  LocalLatencyModel m(d, ModelId::kEfficientNetB0, Rng(3), 0.0);
+  const SimDuration first = m.sample();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(m.sample(), first);
+  EXPECT_EQ(first, m.mean());
+}
+
+TEST(LocalLatencyModel, SamplesArePositive) {
+  const DeviceProfile& d = get_device(DeviceId::kPi3B);
+  LocalLatencyModel m(d, ModelId::kEfficientNetB4, Rng(4), 0.3);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(m.sample(), 0);
+}
+
+TEST(GpuBatchLatencyModel, MeanIsAffineInBatch) {
+  GpuBatchLatencyModel m(ModelId::kMobileNetV3Small, Rng(5));
+  const auto& spec = m.spec();
+  EXPECT_EQ(m.mean(0), seconds_to_sim(spec.batch_base_ms / 1000.0));
+  const SimDuration d1 = m.mean(1);
+  const SimDuration d2 = m.mean(2);
+  const SimDuration d15 = m.mean(15);
+  EXPECT_NEAR(static_cast<double>(d2 - d1),
+              spec.batch_per_frame_ms * 1000.0, 2.0);
+  EXPECT_GT(d15, d2);
+}
+
+TEST(GpuBatchLatencyModel, ThroughputImprovesWithBatching) {
+  GpuBatchLatencyModel m(ModelId::kEfficientNetB0, Rng(6));
+  EXPECT_GT(m.throughput(15), m.throughput(1));
+  EXPECT_DOUBLE_EQ(m.throughput(0), 0.0);
+}
+
+TEST(GpuBatchLatencyModel, SampleJitterAveragesOut) {
+  GpuBatchLatencyModel m(ModelId::kMobileNetV3Small, Rng(7), 0.05);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(m.sample(10));
+  EXPECT_NEAR(sum / n, static_cast<double>(m.mean(10)),
+              0.01 * static_cast<double>(m.mean(10)));
+}
+
+TEST(GpuBatchLatencyModel, GpuFasterThanPiPerFrame) {
+  // A full GPU batch must process frames far faster than a Pi: that is why
+  // offloading exists.
+  GpuBatchLatencyModel gpu(ModelId::kMobileNetV3Small, Rng(8));
+  const DeviceProfile& pi = get_device(DeviceId::kPi4BR14);
+  EXPECT_GT(gpu.throughput(15),
+            pi.local_rate(ModelId::kMobileNetV3Small) * 5);
+}
+
+}  // namespace
+}  // namespace ff::models

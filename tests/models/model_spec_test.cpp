@@ -1,0 +1,72 @@
+#include "ff/models/model_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace ff::models {
+namespace {
+
+TEST(ModelSpec, TableIIIAccuracies) {
+  // Paper Table III, verbatim.
+  EXPECT_DOUBLE_EQ(get_model(ModelId::kEfficientNetB0).top1_accuracy, 0.771);
+  EXPECT_DOUBLE_EQ(get_model(ModelId::kEfficientNetB4).top1_accuracy, 0.829);
+  EXPECT_DOUBLE_EQ(get_model(ModelId::kMobileNetV3Small).top1_accuracy, 0.674);
+  EXPECT_DOUBLE_EQ(get_model(ModelId::kMobileNetV3Large).top1_accuracy, 0.752);
+}
+
+TEST(ModelSpec, NativeResolutions) {
+  // §II-D: all 224 except EfficientNetB4 at 380.
+  EXPECT_EQ(get_model(ModelId::kEfficientNetB4).native_resolution, 380);
+  EXPECT_EQ(get_model(ModelId::kEfficientNetB0).native_resolution, 224);
+  EXPECT_EQ(get_model(ModelId::kMobileNetV3Small).native_resolution, 224);
+  EXPECT_EQ(get_model(ModelId::kMobileNetV3Large).native_resolution, 224);
+}
+
+TEST(ModelSpec, AllModelsListsFour) {
+  EXPECT_EQ(all_models().size(), 4u);
+}
+
+TEST(ModelSpec, ParseRoundTrip) {
+  for (const auto& m : all_models()) {
+    EXPECT_EQ(parse_model(m.name), m.id);
+    EXPECT_EQ(model_name(m.id), m.name);
+  }
+}
+
+TEST(ModelSpec, ParseUnknownThrows) {
+  EXPECT_THROW((void)parse_model("resnet50"), std::invalid_argument);
+  EXPECT_THROW((void)parse_model(""), std::invalid_argument);
+}
+
+TEST(ModelSpec, GpuThroughputGrowsWithBatch) {
+  const ModelSpec& m = get_model(ModelId::kMobileNetV3Small);
+  const double t1 = gpu_throughput(m, 1);
+  const double t8 = gpu_throughput(m, 8);
+  const double t15 = gpu_throughput(m, 15);
+  EXPECT_GT(t8, t1);
+  EXPECT_GT(t15, t8);  // batching amortizes the base cost
+}
+
+TEST(ModelSpec, GpuThroughputZeroBatchIsZero) {
+  EXPECT_DOUBLE_EQ(gpu_throughput(get_model(ModelId::kEfficientNetB0), 0), 0.0);
+}
+
+TEST(ModelSpec, HeavierModelsSlowerOnGpu) {
+  // EfficientNetB4 must be slower than B0, which is slower than MNv3-Small.
+  const int b = 15;
+  EXPECT_LT(gpu_throughput(get_model(ModelId::kEfficientNetB4), b),
+            gpu_throughput(get_model(ModelId::kEfficientNetB0), b));
+  EXPECT_LT(gpu_throughput(get_model(ModelId::kEfficientNetB0), b),
+            gpu_throughput(get_model(ModelId::kMobileNetV3Small), b));
+}
+
+TEST(ModelSpec, ServerSaturatesNearPaperTableVI) {
+  // DESIGN.md calibration: full-batch MobileNetV3Small throughput must sit
+  // in the 140-200 fps band so Table VI's 150 req/s peak saturates the
+  // server as in the paper.
+  const double cap = gpu_throughput(get_model(ModelId::kMobileNetV3Small), 15);
+  EXPECT_GT(cap, 140.0);
+  EXPECT_LT(cap, 200.0);
+}
+
+}  // namespace
+}  // namespace ff::models

@@ -1,0 +1,79 @@
+#include "ff/models/power.h"
+
+#include <gtest/gtest.h>
+
+namespace ff::models {
+namespace {
+
+TEST(Power, IdleDrawIsFloor) {
+  const PowerProfile p = default_power_profile(DeviceId::kPi4BR12);
+  EXPECT_DOUBLE_EQ(power_draw_w(p, 0.0, 0.0, 0.0), p.idle_w);
+}
+
+TEST(Power, FullLoadAddsAllComponents) {
+  const PowerProfile p = default_power_profile(DeviceId::kPi4BR12);
+  EXPECT_DOUBLE_EQ(power_draw_w(p, 1.0, 1.0, 1.0),
+                   p.idle_w + p.cpu_full_w + p.radio_tx_w + p.radio_rx_w);
+}
+
+TEST(Power, MonotoneInUtilization) {
+  const PowerProfile p = default_power_profile(DeviceId::kPi3B);
+  EXPECT_LT(power_draw_w(p, 0.2, 0.0, 0.0), power_draw_w(p, 0.8, 0.0, 0.0));
+  EXPECT_LT(power_draw_w(p, 0.5, 0.1, 0.0), power_draw_w(p, 0.5, 0.6, 0.0));
+}
+
+TEST(Power, InputsClamped) {
+  const PowerProfile p = default_power_profile(DeviceId::kPi3B);
+  EXPECT_DOUBLE_EQ(power_draw_w(p, 2.0, -1.0, 0.0),
+                   power_draw_w(p, 1.0, 0.0, 0.0));
+}
+
+TEST(Power, ProfilesDifferByBoard) {
+  EXPECT_LT(default_power_profile(DeviceId::kPi3B).idle_w,
+            default_power_profile(DeviceId::kPi4BR14).idle_w);
+}
+
+TEST(Power, PiClassDrawsAreRealistic) {
+  for (const auto id :
+       {DeviceId::kPi3B, DeviceId::kPi4BR12, DeviceId::kPi4BR14}) {
+    const PowerProfile p = default_power_profile(id);
+    const double peak = power_draw_w(p, 1.0, 1.0, 1.0);
+    EXPECT_GT(peak, 3.0);
+    EXPECT_LT(peak, 10.0);  // a Pi never draws 10 W
+  }
+}
+
+TEST(EnergyMeter, IntegratesPowerOverTime) {
+  EnergyMeter m;
+  m.accumulate(2.0, 3 * kSecond);  // 6 J
+  m.accumulate(4.0, kSecond);      // 4 J
+  EXPECT_DOUBLE_EQ(m.joules(), 10.0);
+  EXPECT_EQ(m.measured_time(), 4 * kSecond);
+  EXPECT_DOUBLE_EQ(m.mean_power_w(), 2.5);
+}
+
+TEST(EnergyMeter, IgnoresNonPositiveDurations) {
+  EnergyMeter m;
+  m.accumulate(5.0, 0);
+  m.accumulate(5.0, -kSecond);
+  EXPECT_DOUBLE_EQ(m.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_power_w(), 0.0);
+}
+
+TEST(EnergyMeter, JoulesPerWorkItem) {
+  EnergyMeter m;
+  m.accumulate(3.0, 10 * kSecond);  // 30 J
+  EXPECT_DOUBLE_EQ(m.joules_per(300), 0.1);
+  EXPECT_DOUBLE_EQ(m.joules_per(0), 0.0);
+}
+
+TEST(EnergyMeter, ResetClears) {
+  EnergyMeter m;
+  m.accumulate(1.0, kSecond);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.joules(), 0.0);
+  EXPECT_EQ(m.measured_time(), 0);
+}
+
+}  // namespace
+}  // namespace ff::models

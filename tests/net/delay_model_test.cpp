@@ -1,0 +1,72 @@
+#include "ff/net/delay_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ff::net {
+namespace {
+
+TEST(ConstantDelay, AlwaysSameValue) {
+  ff::Rng rng(1);
+  ConstantDelay d(5 * kMillisecond);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(d.sample(rng), 5 * kMillisecond);
+  }
+  EXPECT_EQ(d.mean(), 5 * kMillisecond);
+}
+
+TEST(ConstantDelay, NegativeClampsToZero) {
+  ff::Rng rng(2);
+  ConstantDelay d(-100);
+  EXPECT_EQ(d.sample(rng), 0);
+}
+
+TEST(NormalDelay, MeanMatches) {
+  ff::Rng rng(3);
+  NormalDelay d(10 * kMillisecond, 2 * kMillisecond);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng));
+  EXPECT_NEAR(sum / n, 10 * kMillisecond, 100.0 /*us*/);
+}
+
+TEST(NormalDelay, NeverNegative) {
+  ff::Rng rng(4);
+  NormalDelay d(1 * kMillisecond, 10 * kMillisecond);  // heavy truncation
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(d.sample(rng), 0);
+  }
+}
+
+TEST(LogNormalDelay, MedianRoughlyMatches) {
+  ff::Rng rng(5);
+  LogNormalDelay d(20 * kMillisecond, 0.5);
+  int above = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (d.sample(rng) > 20 * kMillisecond) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / n, 0.5, 0.02);
+}
+
+TEST(LogNormalDelay, MeanAboveMedian) {
+  LogNormalDelay d(20 * kMillisecond, 0.7);
+  EXPECT_GT(d.mean(), 20 * kMillisecond);
+}
+
+TEST(LogNormalDelay, HasHeavyTail) {
+  ff::Rng rng(6);
+  LogNormalDelay d(10 * kMillisecond, 1.0);
+  SimDuration max_seen = 0;
+  for (int i = 0; i < 50000; ++i) max_seen = std::max(max_seen, d.sample(rng));
+  EXPECT_GT(max_seen, 100 * kMillisecond);  // 10x the median
+}
+
+TEST(Factories, ProduceWorkingModels) {
+  ff::Rng rng(7);
+  EXPECT_EQ(make_constant_delay(42)->sample(rng), 42);
+  EXPECT_GE(make_normal_delay(1000, 100)->sample(rng), 0);
+  EXPECT_GT(make_lognormal_delay(1000, 0.5)->sample(rng), 0);
+}
+
+}  // namespace
+}  // namespace ff::net

@@ -1,0 +1,192 @@
+#include "ff/net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ff::net {
+namespace {
+
+Packet data_packet(std::uint64_t msg, std::uint32_t frag = 0,
+                   std::int64_t bytes = 1000, std::uint64_t flow = 0) {
+  Packet p;
+  p.flow_id = flow;
+  p.message_id = msg;
+  p.fragment_index = frag;
+  p.size = Bytes{bytes};
+  return p;
+}
+
+LinkConfig fast_link() {
+  LinkConfig c;
+  c.initial.bandwidth = Bandwidth::mbps(8.0);  // 1 B/us
+  c.initial.loss_probability = 0.0;
+  c.initial.propagation_delay = kMillisecond;
+  return c;
+}
+
+TEST(Link, DeliversPacketAfterSerializationAndPropagation) {
+  sim::Simulator sim;
+  Link link(sim, fast_link());
+  std::vector<SimTime> deliveries;
+  link.set_receiver([&](const Packet&) { deliveries.push_back(sim.now()); });
+  EXPECT_TRUE(link.send(data_packet(1, 0, 1000)));
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  // 1000 B at 1 B/us = 1000 us serialization + 1000 us propagation.
+  EXPECT_EQ(deliveries[0], 2000);
+}
+
+TEST(Link, SerializesFifoBackToBack) {
+  sim::Simulator sim;
+  Link link(sim, fast_link());
+  std::vector<std::uint64_t> order;
+  std::vector<SimTime> times;
+  link.set_receiver([&](const Packet& p) {
+    order.push_back(p.message_id);
+    times.push_back(sim.now());
+  });
+  (void)link.send(data_packet(1, 0, 1000));
+  (void)link.send(data_packet(2, 0, 1000));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2}));
+  // Second packet finishes serializing 1000us after the first.
+  EXPECT_EQ(times[1] - times[0], 1000);
+}
+
+TEST(Link, QueueLimitTailDrops) {
+  sim::Simulator sim;
+  LinkConfig c = fast_link();
+  c.queue_limit = 2;
+  Link link(sim, c);
+  int delivered = 0;
+  link.set_receiver([&](const Packet&) { ++delivered; });
+  // First goes into service; next two queue; the rest drop.
+  int accepted = 0;
+  for (int i = 0; i < 6; ++i) accepted += link.send(data_packet(i)) ? 1 : 0;
+  EXPECT_EQ(accepted, 3);
+  EXPECT_EQ(link.stats().packets_dropped_queue, 3u);
+  sim.run();
+  EXPECT_EQ(delivered, 3);
+}
+
+TEST(Link, FullLossDeliversNothing) {
+  sim::Simulator sim;
+  LinkConfig c = fast_link();
+  c.initial.loss_probability = 1.0;
+  Link link(sim, c);
+  int delivered = 0;
+  link.set_receiver([&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) (void)link.send(data_packet(i));
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(link.stats().packets_lost, 10u);
+}
+
+TEST(Link, LossRateApproximatesConfig) {
+  sim::Simulator sim;
+  LinkConfig c = fast_link();
+  c.initial.loss_probability = 0.07;
+  c.queue_limit = 100000;
+  Link link(sim, c);
+  int delivered = 0;
+  link.set_receiver([&](const Packet&) { ++delivered; });
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) (void)link.send(data_packet(i, 0, 10));
+  sim.run();
+  EXPECT_NEAR(1.0 - static_cast<double>(delivered) / n, 0.07, 0.01);
+}
+
+TEST(Link, BandwidthChangeAffectsSubsequentPackets) {
+  sim::Simulator sim;
+  Link link(sim, fast_link());
+  std::vector<SimTime> times;
+  link.set_receiver([&](const Packet&) { times.push_back(sim.now()); });
+  (void)link.send(data_packet(1, 0, 1000));
+  (void)sim.schedule_at(1500, [&] {
+    LinkConditions slow = link.conditions();
+    slow.bandwidth = Bandwidth::mbps(0.8);  // 10x slower
+    link.set_conditions(slow);
+  });
+  (void)sim.schedule_at(2000, [&] { (void)link.send(data_packet(2, 0, 1000)); });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 2000);           // 1000 ser + 1000 prop
+  EXPECT_EQ(times[1], 2000 + 10000 + 1000);  // 10000 ser + 1000 prop
+}
+
+TEST(Link, ZeroBandwidthStallsUntilRestored) {
+  sim::Simulator sim;
+  LinkConfig c = fast_link();
+  Link link(sim, c);
+  int delivered = 0;
+  link.set_receiver([&](const Packet&) { ++delivered; });
+  LinkConditions stalled = c.initial;
+  stalled.bandwidth = Bandwidth{0.0};
+  link.set_conditions(stalled);
+  (void)link.send(data_packet(1));
+  sim.run_until(10 * kSecond);
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(Link, PurgeRemovesQueuedMessageFragments) {
+  sim::Simulator sim;
+  Link link(sim, fast_link());
+  int delivered = 0;
+  link.set_receiver([&](const Packet&) { ++delivered; });
+  (void)link.send(data_packet(1, 0));  // in service
+  (void)link.send(data_packet(2, 0));
+  (void)link.send(data_packet(2, 1));
+  (void)link.send(data_packet(3, 0));
+  EXPECT_EQ(link.purge(0, 2), 2u);
+  EXPECT_EQ(link.stats().packets_purged, 2u);
+  sim.run();
+  EXPECT_EQ(delivered, 2);  // messages 1 and 3
+}
+
+TEST(Link, PurgeDoesNotTouchInServicePacket) {
+  sim::Simulator sim;
+  Link link(sim, fast_link());
+  int delivered = 0;
+  link.set_receiver([&](const Packet&) { ++delivered; });
+  (void)link.send(data_packet(7, 0));
+  EXPECT_EQ(link.purge(0, 7), 0u);
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Link, PurgeMatchesFlowAndMessage) {
+  sim::Simulator sim;
+  Link link(sim, fast_link());
+  (void)link.send(data_packet(0, 0));          // in service
+  (void)link.send(data_packet(5, 0, 100, 1));  // flow 1
+  (void)link.send(data_packet(5, 0, 100, 2));  // flow 2
+  EXPECT_EQ(link.purge(1, 5), 1u);
+  EXPECT_EQ(link.queue_depth(), 1u);
+}
+
+TEST(Link, StatsTrackDeliveredBytes) {
+  sim::Simulator sim;
+  Link link(sim, fast_link());
+  link.set_receiver([](const Packet&) {});
+  (void)link.send(data_packet(1, 0, 500));
+  (void)link.send(data_packet(2, 0, 300));
+  sim.run();
+  EXPECT_EQ(link.stats().packets_delivered, 2u);
+  EXPECT_EQ(link.stats().bytes_delivered, 800);
+  EXPECT_EQ(link.stats().packets_offered, 2u);
+}
+
+TEST(Link, GilbertElliottModelCanBeInstalled) {
+  sim::Simulator sim;
+  Link link(sim, fast_link());
+  link.set_loss_model(make_gilbert_elliott_loss(0.1, 0.1, 1.0, 1.0));
+  int delivered = 0;
+  link.set_receiver([&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) (void)link.send(data_packet(i));
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+}
+
+}  // namespace
+}  // namespace ff::net

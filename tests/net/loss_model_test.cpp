@@ -1,0 +1,91 @@
+#include "ff/net/loss_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ff::net {
+namespace {
+
+TEST(BernoulliLoss, ZeroNeverDrops) {
+  ff::Rng rng(1);
+  BernoulliLoss loss(0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(loss.drop(rng));
+}
+
+TEST(BernoulliLoss, OneAlwaysDrops) {
+  ff::Rng rng(2);
+  BernoulliLoss loss(1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(loss.drop(rng));
+}
+
+TEST(BernoulliLoss, FrequencyMatchesProbability) {
+  ff::Rng rng(3);
+  BernoulliLoss loss(0.07);
+  int drops = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) drops += loss.drop(rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.07, 0.004);
+  EXPECT_DOUBLE_EQ(loss.expected_loss(), 0.07);
+}
+
+TEST(BernoulliLoss, ClampsOutOfRange) {
+  BernoulliLoss hi(1.7), lo(-0.5);
+  EXPECT_DOUBLE_EQ(hi.expected_loss(), 1.0);
+  EXPECT_DOUBLE_EQ(lo.expected_loss(), 0.0);
+}
+
+TEST(BernoulliLoss, SetProbabilityTakesEffect) {
+  ff::Rng rng(4);
+  BernoulliLoss loss(0.0);
+  loss.set_probability(1.0);
+  EXPECT_TRUE(loss.drop(rng));
+}
+
+TEST(GilbertElliottLoss, ExpectedLossFromStationaryDistribution) {
+  // 10% of time in the bad state (p_gb=0.01, p_bg=0.09).
+  GilbertElliottLoss loss(0.01, 0.09, 0.0, 0.5);
+  EXPECT_NEAR(loss.expected_loss(), 0.05, 1e-12);
+}
+
+TEST(GilbertElliottLoss, LongRunFrequencyMatches) {
+  ff::Rng rng(5);
+  GilbertElliottLoss loss(0.02, 0.1, 0.01, 0.4);
+  int drops = 0;
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) drops += loss.drop(rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / n, loss.expected_loss(), 0.01);
+}
+
+TEST(GilbertElliottLoss, ProducesBursts) {
+  ff::Rng rng(6);
+  // Sticky bad state with certain loss -> long drop runs.
+  GilbertElliottLoss loss(0.05, 0.05, 0.0, 1.0);
+  int max_run = 0, run = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (loss.drop(rng)) {
+      ++run;
+      max_run = std::max(max_run, run);
+    } else {
+      run = 0;
+    }
+  }
+  // Mean bad-state dwell is 20 packets; far beyond any Bernoulli(0.5) run.
+  EXPECT_GT(max_run, 30);
+}
+
+TEST(GilbertElliottLoss, DegenerateNoTransitions) {
+  GilbertElliottLoss loss(0.0, 0.0, 0.02, 0.9);
+  // Stays in the good state forever.
+  EXPECT_DOUBLE_EQ(loss.expected_loss(), 0.02);
+  EXPECT_FALSE(loss.in_bad_state());
+}
+
+TEST(Factories, ProduceWorkingModels) {
+  ff::Rng rng(7);
+  auto b = make_bernoulli_loss(1.0);
+  EXPECT_TRUE(b->drop(rng));
+  auto g = make_gilbert_elliott_loss(0.1, 0.1, 0.0, 1.0);
+  EXPECT_NEAR(g->expected_loss(), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace ff::net

@@ -1,0 +1,118 @@
+#include "ff/rt/realtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "ff/sim/timer.h"
+
+namespace ff::rt {
+namespace {
+
+TEST(Realtime, ExecutesAllEventsWithinHorizon) {
+  sim::Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    (void)sim.schedule_at(i * kMillisecond, [&] { ++count; });
+  }
+  RealtimeOptions opt;
+  opt.time_scale = 100.0;  // fast
+  opt.horizon = kSecond;
+  const auto executed = run_realtime(sim, opt);
+  EXPECT_EQ(executed, 10u);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Realtime, PacesAgainstWallClock) {
+  sim::Simulator sim;
+  for (int i = 1; i <= 5; ++i) {
+    (void)sim.schedule_at(i * 20 * kMillisecond, [] {});
+  }
+  RealtimeOptions opt;
+  opt.time_scale = 1.0;
+  opt.horizon = kSecond;
+  const auto start = std::chrono::steady_clock::now();
+  (void)run_realtime(sim, opt);
+  const auto wall =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start).count();
+  // 100 ms of sim at 1x must take at least ~80 ms of wall time.
+  EXPECT_GE(wall, 80);
+}
+
+TEST(Realtime, TimeScaleSpeedsReplay) {
+  sim::Simulator sim;
+  for (int i = 1; i <= 5; ++i) {
+    (void)sim.schedule_at(i * 40 * kMillisecond, [] {});
+  }
+  RealtimeOptions opt;
+  opt.time_scale = 20.0;
+  opt.horizon = kSecond;
+  const auto start = std::chrono::steady_clock::now();
+  (void)run_realtime(sim, opt);
+  const auto wall =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start).count();
+  // 200 ms sim at 20x ~= 10 ms wall; allow generous slack.
+  EXPECT_LT(wall, 150);
+}
+
+TEST(Realtime, HorizonStopsExecution) {
+  sim::Simulator sim;
+  int count = 0;
+  sim::PeriodicTimer timer(sim, [&](std::uint64_t) { ++count; });
+  timer.start(10 * kMillisecond, 10 * kMillisecond);
+  RealtimeOptions opt;
+  opt.time_scale = 1000.0;
+  opt.horizon = 100 * kMillisecond;
+  (void)run_realtime(sim, opt);
+  EXPECT_LE(count, 11);
+  EXPECT_GE(count, 9);
+}
+
+TEST(Realtime, StopFlagAborts) {
+  sim::Simulator sim;
+  sim::PeriodicTimer timer(sim, [](std::uint64_t) {});
+  timer.start(kMillisecond, kMillisecond);
+  std::atomic<bool> stop{false};
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stop = true;
+  });
+  RealtimeOptions opt;
+  opt.time_scale = 0.1;  // slow: would run for many wall seconds
+  opt.horizon = 10 * kSecond;
+  (void)run_realtime(sim, opt, &stop);
+  stopper.join();
+  EXPECT_LT(sim.now(), 10 * kSecond);
+}
+
+TEST(Realtime, ProgressCallbackFires) {
+  sim::Simulator sim;
+  sim::PeriodicTimer timer(sim, [](std::uint64_t) {});
+  timer.start(10 * kMillisecond, 10 * kMillisecond);
+  std::vector<SimTime> progress;
+  RealtimeOptions opt;
+  opt.time_scale = 1000.0;
+  opt.horizon = 500 * kMillisecond;
+  opt.progress_period = 100 * kMillisecond;
+  opt.on_progress = [&](SimTime t) { progress.push_back(t); };
+  (void)run_realtime(sim, opt);
+  EXPECT_GE(progress.size(), 3u);
+  for (std::size_t i = 1; i < progress.size(); ++i) {
+    EXPECT_GT(progress[i], progress[i - 1]);
+  }
+}
+
+TEST(Realtime, EmptyQueueReturnsImmediately) {
+  sim::Simulator sim;
+  RealtimeOptions opt;
+  opt.horizon = 10 * kSecond;
+  EXPECT_EQ(run_realtime(sim, opt), 0u);
+}
+
+}  // namespace
+}  // namespace ff::rt

@@ -1,0 +1,89 @@
+#include "ff/rt/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace ff::rt {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTask) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 42; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, RunsManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.submit([&] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&] {
+      const int now = ++running;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      --running;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      (void)pool.submit([&] { ++count; });
+    }
+  }
+  // close() lets queued tasks drain before join.
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelMap, ResultsInOrder) {
+  const auto results = parallel_map(20, [](std::size_t i) { return i * i; }, 4);
+  ASSERT_EQ(results.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ParallelMap, EmptyInput) {
+  const auto results = parallel_map(0, [](std::size_t i) { return i; }, 2);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(ParallelMap, WorksWithComplexResults) {
+  const auto results = parallel_map(
+      5, [](std::size_t i) { return std::string(i + 1, 'x'); }, 2);
+  EXPECT_EQ(results[4], "xxxxx");
+}
+
+}  // namespace
+}  // namespace ff::rt

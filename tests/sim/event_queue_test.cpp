@@ -1,0 +1,125 @@
+#include "ff/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ff/util/rng.h"
+
+namespace ff::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  (void)q.schedule(30, [&] { order.push_back(3); });
+  (void)q.schedule(10, [&] { order.push_back(1); });
+  (void)q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    (void)q.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  (void)q.schedule(50, [] {});
+  (void)q.schedule(20, [] {});
+  EXPECT_EQ(q.next_time(), 20);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.schedule(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelExecutedEventFails) {
+  EventQueue q;
+  const EventId id = q.schedule(10, [] {});
+  (void)q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+  EXPECT_FALSE(q.cancel(EventId{9999}));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  (void)q.schedule(10, [&] { order.push_back(1); });
+  const EventId id = q.schedule(20, [&] { order.push_back(2); });
+  (void)q.schedule(30, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelFrontUpdatesNextTime) {
+  EventQueue q;
+  const EventId front = q.schedule(10, [] {});
+  (void)q.schedule(20, [] {});
+  EXPECT_TRUE(q.cancel(front));
+  EXPECT_EQ(q.next_time(), 20);
+}
+
+TEST(EventQueue, ClearDropsAll) {
+  EventQueue q;
+  (void)q.schedule(1, [] {});
+  (void)q.schedule(2, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StressRandomScheduleAndCancel) {
+  ff::Rng rng(77);
+  EventQueue q;
+  std::vector<EventId> ids;
+  int executed = 0;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(q.schedule(rng.uniform_int(0, 1000), [&] { ++executed; }));
+  }
+  int cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    if (q.cancel(ids[i])) ++cancelled;
+  }
+  SimTime last = -1;
+  while (!q.empty()) {
+    Event e = q.pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+    e.action();
+  }
+  EXPECT_EQ(executed + cancelled, 5000);
+}
+
+}  // namespace
+}  // namespace ff::sim

@@ -1,0 +1,133 @@
+#include "ff/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ff::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, ScheduleInAdvancesClock) {
+  Simulator sim;
+  SimTime seen = -1;
+  (void)sim.schedule_in(100, [&] { seen = sim.now(); });
+  sim.run_until(kSecond);
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), kSecond);  // clock advances to horizon
+}
+
+TEST(Simulator, RunUntilExcludesHorizonEvents) {
+  Simulator sim;
+  bool before = false, at = false;
+  (void)sim.schedule_at(99, [&] { before = true; });
+  (void)sim.schedule_at(100, [&] { at = true; });
+  sim.run_until(100);
+  EXPECT_TRUE(before);
+  EXPECT_FALSE(at);
+  // Continuing past the horizon runs it.
+  sim.run_until(101);
+  EXPECT_TRUE(at);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  (void)sim.schedule_in(50, [&] {
+    SimTime ran_at = -1;
+    (void)sim.schedule_in(-100, [&, t = &ran_at] { *t = sim.now(); });
+    (void)sim.schedule_in(0, [&] {});
+  });
+  EXPECT_NO_THROW(sim.run());
+}
+
+TEST(Simulator, ScheduleAtPastClampsToNow) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  (void)sim.schedule_at(100, [&] {
+    (void)sim.schedule_at(10, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 100);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) (void)sim.schedule_in(10, chain);
+  };
+  (void)sim.schedule_in(10, chain);
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, RunReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) (void)sim.schedule_in(i, [] {});
+  EXPECT_EQ(sim.run(), 5u);
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_in(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator sim;
+  int count = 0;
+  (void)sim.schedule_in(1, [&] { ++count; });
+  (void)sim.schedule_in(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, MakeRngDeterministic) {
+  Simulator a(5), b(5);
+  ff::Rng ra = a.make_rng("x");
+  ff::Rng rb = b.make_rng("x");
+  EXPECT_EQ(ra.next_u64(), rb.next_u64());
+  ff::Rng rc = a.make_rng("y");
+  EXPECT_NE(a.make_rng("x").next_u64(), rc.next_u64());
+}
+
+TEST(Simulator, DeterministicEventOrderAcrossRuns) {
+  auto record_run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    ff::Rng rng = sim.make_rng("gen");
+    std::vector<SimTime> times;
+    for (int i = 0; i < 100; ++i) {
+      (void)sim.schedule_in(rng.uniform_int(0, 10000),
+                            [&times, &sim] { times.push_back(sim.now()); });
+    }
+    sim.run();
+    return times;
+  };
+  EXPECT_EQ(record_run(9), record_run(9));
+  EXPECT_NE(record_run(9), record_run(10));
+}
+
+TEST(Simulator, RunUntilIdempotentWhenDrained) {
+  Simulator sim;
+  (void)sim.schedule_in(10, [] {});
+  sim.run_until(kSecond);
+  EXPECT_EQ(sim.run_until(2 * kSecond), 0u);
+  EXPECT_EQ(sim.now(), 2 * kSecond);
+}
+
+}  // namespace
+}  // namespace ff::sim

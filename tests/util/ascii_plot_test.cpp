@@ -1,0 +1,101 @@
+#include "ff/util/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+namespace ff {
+namespace {
+
+TimeSeries ramp(int n) {
+  TimeSeries s("ramp");
+  for (int i = 0; i < n; ++i) s.record(i * kSecond, i);
+  return s;
+}
+
+TEST(AsciiPlot, PlotContainsAxisAndLegend) {
+  const TimeSeries s = ramp(20);
+  PlotOptions opts;
+  opts.width = 40;
+  opts.height = 8;
+  opts.title = "test-title";
+  const std::string out = plot_series(s, opts);
+  EXPECT_NE(out.find("test-title"), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("ramp"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+' + std::string(40, '-')), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesUseDistinctGlyphs) {
+  const TimeSeries a = ramp(10);
+  TimeSeries b("flat");
+  for (int i = 0; i < 10; ++i) b.record(i * kSecond, 5.0);
+  PlotOptions opts;
+  opts.width = 30;
+  opts.height = 6;
+  const std::string out = plot_series({&a, &b}, opts);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySeriesListYieldsEmptyString) {
+  EXPECT_EQ(plot_series(std::vector<const TimeSeries*>{}, {}), "");
+}
+
+TEST(AsciiPlot, FixedScaleClampsOutliers) {
+  TimeSeries s("spiky");
+  s.record(0, 0.0);
+  s.record(kSecond, 1000.0);
+  PlotOptions opts;
+  opts.width = 10;
+  opts.height = 4;
+  opts.y_min = 0.0;
+  opts.y_max = 10.0;
+  // Must not crash; the 1000 lands on the top row.
+  const std::string out = plot_series(s, opts);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(Sparkline, WidthMatchesRequest) {
+  const TimeSeries s = ramp(100);
+  const std::string sl = sparkline(s, 20);
+  // Each block is a 3-byte UTF-8 char.
+  EXPECT_EQ(sl.size(), 20u * 3u);
+}
+
+TEST(Sparkline, EmptySeriesYieldsEmpty) {
+  TimeSeries s;
+  EXPECT_EQ(sparkline(s), "");
+}
+
+TEST(Sparkline, MonotoneRampStartsLowEndsHigh) {
+  const TimeSeries s = ramp(100);
+  const std::string sl = sparkline(s, 10);
+  EXPECT_EQ(sl.substr(0, 3), "▁");
+  EXPECT_EQ(sl.substr(sl.size() - 3), "█");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| longer-name |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPad) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Fmt, FormatsWithDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace ff

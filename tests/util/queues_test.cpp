@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "ff/util/mpmc_queue.h"
+#include "ff/util/spsc_queue.h"
+
+namespace ff {
+namespace {
+
+TEST(SpscQueue, PushPopSingleThread) {
+  SpscQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_EQ(q.try_pop(), 2);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(SpscQueue, FillsToCapacity) {
+  SpscQueue<int> q(4);
+  int pushed = 0;
+  while (q.try_push(pushed)) ++pushed;
+  EXPECT_GE(pushed, 4);
+  EXPECT_EQ(q.size_approx(), static_cast<std::size_t>(pushed));
+}
+
+TEST(SpscQueue, FifoOrderAcrossWrap) {
+  SpscQueue<int> q(4);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(q.try_push(round * 2));
+    EXPECT_TRUE(q.try_push(round * 2 + 1));
+    EXPECT_EQ(q.try_pop(), round * 2);
+    EXPECT_EQ(q.try_pop(), round * 2 + 1);
+  }
+}
+
+TEST(SpscQueue, ConcurrentProducerConsumerDeliversAll) {
+  SpscQueue<int> q(64);
+  constexpr int kCount = 100000;
+  std::atomic<long long> sum{0};
+
+  std::thread consumer([&] {
+    int received = 0;
+    while (received < kCount) {
+      if (auto v = q.try_pop()) {
+        sum += *v;
+        ++received;
+      }
+    }
+  });
+  for (int i = 1; i <= kCount; ++i) {
+    while (!q.try_push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_EQ(sum.load(), static_cast<long long>(kCount) * (kCount + 1) / 2);
+}
+
+TEST(MpmcQueue, BlockingPopReceivesPush) {
+  MpmcQueue<int> q(4);
+  std::thread t([&] { EXPECT_TRUE(q.push(42)); });
+  EXPECT_EQ(q.pop(), 42);
+  t.join();
+}
+
+TEST(MpmcQueue, TryPushFailsWhenFull) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+}
+
+TEST(MpmcQueue, CloseDrainsThenReturnsEmpty) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_FALSE(q.push(8));
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumers) {
+  MpmcQueue<int> q(32);
+  constexpr int kPerProducer = 20000;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  std::atomic<long long> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        ++received;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  while (received.load() < kProducers * kPerProducer) std::this_thread::yield();
+  q.close();
+  for (auto& t : threads) t.join();
+
+  const long long expected =
+      static_cast<long long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace ff

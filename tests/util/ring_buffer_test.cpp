@@ -1,0 +1,66 @@
+#include "ff/util/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ff {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> r(4);
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.full());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.capacity(), 4u);
+}
+
+TEST(RingBuffer, ZeroCapacityThrows) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, RecentOrder) {
+  RingBuffer<int> r(3);
+  r.push(1);
+  r.push(2);
+  r.push(3);
+  EXPECT_EQ(r.recent(0), 3);
+  EXPECT_EQ(r.recent(1), 2);
+  EXPECT_EQ(r.recent(2), 1);
+  EXPECT_EQ(r.oldest(), 1);
+}
+
+TEST(RingBuffer, OverwritesOldestWhenFull) {
+  RingBuffer<int> r(3);
+  for (int i = 1; i <= 5; ++i) r.push(i);
+  EXPECT_TRUE(r.full());
+  EXPECT_EQ(r.recent(0), 5);
+  EXPECT_EQ(r.oldest(), 3);
+}
+
+TEST(RingBuffer, RecentOutOfRangeThrows) {
+  RingBuffer<int> r(3);
+  r.push(1);
+  EXPECT_THROW((void)r.recent(1), std::out_of_range);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> r(3);
+  r.push(1);
+  r.clear();
+  EXPECT_TRUE(r.empty());
+  r.push(9);
+  EXPECT_EQ(r.recent(0), 9);
+}
+
+TEST(RingBuffer, WorksWithMoveOnlyFriendlyTypes) {
+  RingBuffer<std::string> r(2);
+  r.push("hello");
+  r.push("world");
+  r.push("again");
+  EXPECT_EQ(r.recent(0), "again");
+  EXPECT_EQ(r.oldest(), "world");
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,172 @@
+#include "ff/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ff {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) values.insert(r.next_u64());
+  EXPECT_GT(values.size(), 95u);  // not stuck
+}
+
+TEST(Rng, ForkByLabelIsDeterministic) {
+  const Rng root(42);
+  Rng a = root.fork("link/up");
+  Rng b = root.fork("link/up");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForksAreIndependentStreams) {
+  const Rng root(42);
+  Rng a = root.fork("a");
+  Rng b = root.fork("b");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkByIndexMatchesOnlySameIndex) {
+  const Rng root(7);
+  Rng a0 = root.fork(std::uint64_t{0});
+  Rng a0_again = root.fork(std::uint64_t{0});
+  Rng a1 = root.fork(std::uint64_t{1});
+  EXPECT_EQ(a0.next_u64(), a0_again.next_u64());
+  EXPECT_NE(a0.next_u64(), a1.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(10);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(12);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_int(1, 6));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng r(13);
+  EXPECT_EQ(r.uniform_int(5, 5), 5);
+  EXPECT_EQ(r.uniform_int(5, 4), 5);  // hi < lo clamps to lo
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(15);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.07) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.07, 0.005);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(16);
+  const int n = 100000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(17);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += r.exponential(0.25);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng r(18);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(r.exponential(1.0), 0.0);
+  }
+}
+
+TEST(Rng, LognormalMedianMatches) {
+  Rng r(19);
+  const int n = 100001;
+  std::vector<double> values(n);
+  for (auto& v : values) v = r.lognormal(50.0, 0.5);
+  std::nth_element(values.begin(), values.begin() + n / 2, values.end());
+  EXPECT_NEAR(values[n / 2], 50.0, 1.5);
+}
+
+TEST(Rng, HashLabelDiffersByLabel) {
+  EXPECT_NE(hash_label("a"), hash_label("b"));
+  EXPECT_EQ(hash_label("device/0"), hash_label("device/0"));
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 1;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace ff

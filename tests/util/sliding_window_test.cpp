@@ -1,0 +1,81 @@
+#include "ff/util/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+namespace ff {
+namespace {
+
+TEST(SlidingWindowCounter, CountsWithinWindow) {
+  SlidingWindowCounter w(2 * kSecond);
+  w.add(0);
+  w.add(kSecond);
+  EXPECT_DOUBLE_EQ(w.count(kSecond), 2.0);
+}
+
+TEST(SlidingWindowCounter, EvictsOldEntries) {
+  SlidingWindowCounter w(2 * kSecond);
+  w.add(0);
+  w.add(kSecond);
+  // At t=2s the entry at t=0 is exactly window-old and drops out.
+  EXPECT_DOUBLE_EQ(w.count(2 * kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(w.count(3 * kSecond), 0.0);
+}
+
+TEST(SlidingWindowCounter, RateIsPerSecond) {
+  SlidingWindowCounter w(2 * kSecond);
+  for (int i = 0; i < 6; ++i) w.add(i * kSecond / 4);  // 6 events in 1.25s
+  EXPECT_DOUBLE_EQ(w.rate(3 * kSecond / 2), 3.0);      // 6 / 2s window
+}
+
+TEST(SlidingWindowCounter, WeightsAccumulate) {
+  SlidingWindowCounter w(kSecond);
+  w.add(0, 2.5);
+  w.add(0, 0.5);
+  EXPECT_DOUBLE_EQ(w.count(0), 3.0);
+}
+
+TEST(SlidingWindowCounter, ClearEmpties) {
+  SlidingWindowCounter w(kSecond);
+  w.add(0);
+  w.clear();
+  EXPECT_DOUBLE_EQ(w.count(0), 0.0);
+}
+
+TEST(SlidingWindowCounter, ManyEvictionsNoDrift) {
+  SlidingWindowCounter w(kSecond);
+  for (int i = 0; i < 100000; ++i) w.add(i * kMillisecond, 0.1);
+  // After everything expires the sum must be exactly zero.
+  EXPECT_DOUBLE_EQ(w.count(200 * kSecond), 0.0);
+}
+
+TEST(SlidingWindowMean, MeanOfWindowContents) {
+  SlidingWindowMean w(2 * kSecond);
+  w.add(0, 10.0);
+  w.add(kSecond, 20.0);
+  EXPECT_DOUBLE_EQ(w.mean(kSecond), 15.0);
+}
+
+TEST(SlidingWindowMean, EvictionChangesMean) {
+  SlidingWindowMean w(2 * kSecond);
+  w.add(0, 10.0);
+  w.add(kSecond, 20.0);
+  EXPECT_DOUBLE_EQ(w.mean(5 * kSecond / 2), 20.0);
+}
+
+TEST(SlidingWindowMean, EmptyMeanIsZero) {
+  SlidingWindowMean w(kSecond);
+  EXPECT_DOUBLE_EQ(w.mean(0), 0.0);
+  w.add(0, 5.0);
+  EXPECT_DOUBLE_EQ(w.mean(10 * kSecond), 0.0);
+}
+
+TEST(SlidingWindowMean, SizeTracksWindow) {
+  SlidingWindowMean w(kSecond);
+  w.add(0, 1.0);
+  w.add(kSecond / 2, 2.0);
+  EXPECT_EQ(w.size(kSecond / 2), 2u);
+  EXPECT_EQ(w.size(kSecond + kSecond / 4), 1u);
+}
+
+}  // namespace
+}  // namespace ff

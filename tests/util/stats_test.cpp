@@ -1,0 +1,218 @@
+#include "ff/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ff/util/rng.h"
+
+namespace ff {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, SampleVarianceUsesNMinusOne) {
+  StreamingStats s;
+  for (const double v : {1.0, 2.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0 / 3.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  Rng rng(3);
+  StreamingStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 1.5);
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(StreamingStats, MergeWithEmptyIsIdentity) {
+  StreamingStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
+
+  StreamingStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(StreamingStats, NumericallyStableForLargeOffset) {
+  StreamingStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(P2Quantile, SmallSampleExact) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_NEAR(q.value(), 2.0, 1e-12);
+}
+
+TEST(P2Quantile, MedianOfUniform) {
+  Rng rng(5);
+  P2Quantile q(0.5);
+  for (int i = 0; i < 100000; ++i) q.add(rng.uniform());
+  EXPECT_NEAR(q.value(), 0.5, 0.01);
+}
+
+TEST(P2Quantile, P99OfUniform) {
+  Rng rng(6);
+  P2Quantile q(0.99);
+  for (int i = 0; i < 100000; ++i) q.add(rng.uniform());
+  EXPECT_NEAR(q.value(), 0.99, 0.01);
+}
+
+TEST(P2Quantile, P90OfExponential) {
+  Rng rng(7);
+  P2Quantile q(0.9);
+  for (int i = 0; i < 200000; ++i) q.add(rng.exponential(1.0));
+  // True p90 of Exp(1) is ln(10) ~= 2.3026.
+  EXPECT_NEAR(q.value(), 2.3026, 0.1);
+}
+
+TEST(SampleQuantiles, ExactQuantiles) {
+  SampleQuantiles s;
+  for (const double v : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 50.0);
+  EXPECT_DOUBLE_EQ(s.median(), 30.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 30.0);
+}
+
+TEST(SampleQuantiles, InterpolatesBetweenSamples) {
+  SampleQuantiles s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 7.5);
+}
+
+TEST(SampleQuantiles, EmptyReturnsZero) {
+  const SampleQuantiles s;
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleQuantiles, AddAfterQueryResorts) {
+  SampleQuantiles s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e(0.1);
+  EXPECT_FALSE(e.initialized());
+  e.add(42.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant) {
+  Ewma e(0.5);
+  e.add(0.0);
+  for (int i = 0; i < 30; ++i) e.add(10.0);
+  EXPECT_NEAR(e.value(), 10.0, 1e-6);
+}
+
+TEST(Ewma, AlphaOneTracksExactly) {
+  Ewma e(1.0);
+  e.add(1.0);
+  e.add(7.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.0);
+}
+
+TEST(Ewma, ResetClears) {
+  Ewma e(0.3);
+  e.add(5.0);
+  e.reset();
+  EXPECT_FALSE(e.initialized());
+  e.add(2.0);
+  EXPECT_DOUBLE_EQ(e.value(), 2.0);
+}
+
+// Property sweep: P2 approximates exact quantiles across distributions and
+// quantile levels.
+class P2AccuracySweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(P2AccuracySweep, TracksExactQuantile) {
+  const double q = std::get<0>(GetParam());
+  const int dist = std::get<1>(GetParam());
+  Rng rng(100 + dist);
+  P2Quantile p2(q);
+  std::vector<double> all;
+  const int n = 50000;
+  all.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double v = 0;
+    switch (dist) {
+      case 0: v = rng.uniform(); break;
+      case 1: v = rng.normal(5.0, 2.0); break;
+      case 2: v = rng.exponential(3.0); break;
+    }
+    p2.add(v);
+    all.push_back(v);
+  }
+  std::sort(all.begin(), all.end());
+  const double exact = all[static_cast<std::size_t>(q * (n - 1))];
+  const double spread = all.back() - all.front();
+  EXPECT_NEAR(p2.value(), exact, 0.02 * spread)
+      << "q=" << q << " dist=" << dist;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuantilesAndDistributions, P2AccuracySweep,
+    ::testing::Combine(::testing::Values(0.1, 0.5, 0.9, 0.99),
+                       ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace ff
