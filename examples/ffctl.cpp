@@ -10,9 +10,12 @@
 // `csv=<path>` dumps device 0's series.
 
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "ff/core/framefeedback.h"
+#include "ff/core/obs_export.h"
+#include "ff/obs/trace.h"
 #include "ff/util/config.h"
 
 namespace {
@@ -37,7 +40,10 @@ void print_help() {
       << "  config=FILE        load keys from a file first\n"
       << "  plot=SERIES        ASCII-plot a series (P, Po_target, T, ...)\n"
       << "  csv=PATH           dump device 0 series as long-form CSV\n"
-      << "  trace=PATH         dump device 0's per-frame lifecycle CSV\n"
+      << "  trace=PATH         dump per-frame lifecycle CSV (all devices)\n"
+      << "  --trace-out=PATH   structured JSONL trace: frame lifecycle,\n"
+      << "                     controller ticks, net/server events\n"
+      << "  --metrics-out=PATH run-level metrics as one JSON document\n"
       << "  seed=N duration_s=N devices=N shared_medium=BOOL\n"
       << "  device.fps device.model device.profile device.deadline_ms\n"
       << "  net.bandwidth_mbps net.loss net.delay_ms load.rate\n"
@@ -72,24 +78,52 @@ int main(int argc, char** argv) {
       controllers = {cfg.get_string("controller", "frame-feedback")};
     }
 
+    const auto trace_path = cfg.get("trace");
+    const auto trace_out = cfg.get("trace-out");
+    const auto metrics_out = cfg.get("metrics-out");
+
     std::vector<ff::core::ExperimentResult> results;
     for (const auto& name : controllers) {
       ff::Config run_cfg = cfg;
       run_cfg.set("controller", name);
       ff::core::Experiment experiment(
           scenario, ff::core::controller_factory_from_config(run_cfg));
+
+      // Later runs of a comparison write with a `.controller` suffix so
+      // the first run keeps the plain path.
+      const bool first_run = results.empty();
+      const auto run_path = [&](const std::string& base) {
+        return first_run ? base : base + "." + name;
+      };
+
+      // Both trace consumers observe the same run through one fanout.
+      ff::obs::FanoutTraceSink fanout;
       ff::device::FrameTracer tracer;
-      const auto trace_path = cfg.get("trace");
-      if (trace_path) experiment.device(0).attach_tracer(&tracer);
+      if (trace_path) fanout.add(&tracer);
+      std::unique_ptr<ff::obs::JsonlTraceSink> jsonl;
+      if (trace_out) {
+        jsonl = std::make_unique<ff::obs::JsonlTraceSink>(run_path(*trace_out));
+        fanout.add(jsonl.get());
+      }
+      if (!fanout.empty()) experiment.set_trace_sink(&fanout);
+
       results.push_back(experiment.run());
+
       if (trace_path) {
-        // One trace per run; later runs overwrite with a suffix.
-        const std::string path = results.size() == 1
-                                     ? *trace_path
-                                     : *trace_path + "." + name;
+        const std::string path = run_path(*trace_path);
         tracer.write_csv(path);
         std::cout << "wrote frame trace " << path << " ("
                   << tracer.total_recorded() << " events)\n";
+      }
+      if (jsonl) {
+        jsonl->flush();
+        std::cout << "wrote trace " << run_path(*trace_out) << " ("
+                  << jsonl->events_written() << " events)\n";
+      }
+      if (metrics_out) {
+        const std::string path = run_path(*metrics_out);
+        ff::core::write_metrics_json_file(results.back(), path);
+        std::cout << "wrote metrics " << path << "\n";
       }
     }
 

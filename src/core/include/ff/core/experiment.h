@@ -15,6 +15,7 @@
 #include "ff/device/edge_device.h"
 #include "ff/net/shared_medium.h"
 #include "ff/net/transport.h"
+#include "ff/obs/trace.h"
 #include "ff/server/edge_server.h"
 #include "ff/server/load_generator.h"
 #include "ff/sim/simulator.h"
@@ -82,6 +83,13 @@ class Experiment {
   /// Runs to the scenario horizon and collects results. Callable once.
   [[nodiscard]] ExperimentResult run();
 
+  /// Attaches one trace sink to every instrumented component -- devices
+  /// (frame lifecycle), server (batching/rejection), links and transport
+  /// channels (drops/retransmits) -- and enables per-tick controller
+  /// records (ctl.tick with e/u/Po). Call before run(); nullptr detaches.
+  /// The sink is not owned and must outlive the experiment.
+  void set_trace_sink(obs::TraceSink* sink);
+
   /// Access to live objects between construction and run(), for tests and
   /// custom instrumentation.
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
@@ -117,6 +125,7 @@ class Experiment {
   std::unique_ptr<net::SharedMedium> uplink_medium_;
   std::vector<std::unique_ptr<DeviceRig>> rigs_;
   std::unique_ptr<sim::PeriodicTimer> sample_timer_;
+  obs::TraceSink* trace_sink_{nullptr};
   bool ran_{false};
 };
 

@@ -1,0 +1,33 @@
+#pragma once
+
+// Run-level metrics export: folds an ExperimentResult into a MetricsRegistry
+// (labelled per device) so a finished run can be dumped as one JSON document
+// for dashboards and regression tooling. Pull-based by design -- the
+// simulation's hot path never touches the registry.
+
+#include <ostream>
+#include <string>
+
+#include "ff/core/experiment.h"
+#include "ff/obs/metrics.h"
+
+namespace ff::core {
+
+/// Populates `registry` with counters/gauges/distributions derived from the
+/// run: per-device frame totals, offload latency quantiles, uplink transport
+/// stats (labelled {device=<name>, controller=<name>}), and server-side
+/// aggregates. Safe to call on an empty registry or to layer several runs
+/// into one registry (counters accumulate).
+void export_metrics(const ExperimentResult& result,
+                    obs::MetricsRegistry& registry);
+
+/// Convenience: export_metrics into a fresh registry and write its JSON
+/// document to `os`.
+void write_metrics_json(const ExperimentResult& result, std::ostream& os);
+
+/// Same, to a file path. Throws std::runtime_error if the file cannot be
+/// opened.
+void write_metrics_json_file(const ExperimentResult& result,
+                             const std::string& path);
+
+}  // namespace ff::core

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ff/control/frame_feedback.h"
+
 namespace ff::core {
 
 double DeviceResult::goodput_fraction() const {
@@ -94,6 +96,15 @@ void Experiment::build() {
       *sim_, [this](std::uint64_t) { sample_tick(); });
 }
 
+void Experiment::set_trace_sink(obs::TraceSink* sink) {
+  trace_sink_ = sink;
+  server_->attach_trace_sink(sink);
+  for (auto& rig : rigs_) {
+    rig->device->attach_trace_sink(sink);
+    rig->transport->path().attach_trace_sink(sink);
+  }
+}
+
 void Experiment::control_tick(DeviceRig& rig) {
   device::EdgeDevice& dev = *rig.device;
   control::Controller& ctl = *rig.controller;
@@ -108,6 +119,20 @@ void Experiment::control_tick(DeviceRig& rig) {
     dev.set_frame_quality(*quality);
   }
   if (ctl.wants_probe()) dev.send_probe();
+
+  if (trace_sink_ != nullptr) {
+    obs::TraceEvent event(sim_->now(), obs::ev::kControlTick,
+                          dev.config().name);
+    event.with("po", po)
+        .with("T", input.timeout_rate)
+        .with("pl", input.local_rate)
+        .with("ps", input.offload_success_rate);
+    if (const auto* ffc =
+            dynamic_cast<const control::FrameFeedbackController*>(&ctl)) {
+      event.with("e", ffc->last_error()).with("u", ffc->last_update());
+    }
+    trace_sink_->emit(event);
+  }
 }
 
 void Experiment::sample_tick() {

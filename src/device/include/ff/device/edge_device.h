@@ -98,12 +98,20 @@ class EdgeDevice {
   /// Per-frame payload size implied by the frame spec.
   [[nodiscard]] Bytes frame_payload() const { return frame_payload_; }
 
-  /// Attaches a frame-lifecycle tracer to the device and its offload
-  /// client (nullptr detaches). Not owned; must outlive tracing.
-  void attach_tracer(FrameTracer* tracer);
+  /// Attaches a trace sink observing the device's per-frame lifecycle
+  /// events (nullptr detaches). Not owned; must outlive tracing.
+  void attach_trace_sink(obs::TraceSink* sink);
+
+  /// Back-compat alias: a FrameTracer is a TraceSink.
+  void attach_tracer(FrameTracer* tracer) { attach_trace_sink(tracer); }
 
  private:
   void on_frame(std::uint64_t index, SimTime t);
+
+  void trace(SimTime t, std::string_view type, std::uint64_t frame_id) {
+    if (sink_ == nullptr) return;
+    sink_->emit(obs::TraceEvent(t, type, config_.name).with_id(frame_id));
+  }
 
   sim::Simulator& sim_;
   DeviceConfig config_;
@@ -115,7 +123,7 @@ class EdgeDevice {
   FrameSource source_;
   std::uint64_t next_probe_id_;
   std::optional<bool> probe_result_;
-  FrameTracer* tracer_{nullptr};
+  obs::TraceSink* sink_{nullptr};
 };
 
 }  // namespace ff::device

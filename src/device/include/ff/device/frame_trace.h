@@ -4,13 +4,18 @@
 // (captured -> routed -> completed/dropped/timed out) in a bounded ring,
 // exportable as CSV. Debugging aid for controller/transport interactions;
 // zero cost when no tracer is attached.
+//
+// FrameTracer is an obs::TraceSink: attach it anywhere a sink goes and it
+// retains the frame-lifecycle events (frame.*), ignoring the rest.
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "ff/obs/trace.h"
 #include "ff/util/units.h"
 
 namespace ff::device {
@@ -29,18 +34,28 @@ enum class FrameEvent : std::uint8_t {
 
 [[nodiscard]] std::string_view frame_event_name(FrameEvent event);
 
+/// Wire event type (obs::ev::kFrame*) for a lifecycle step.
+[[nodiscard]] std::string_view frame_event_type(FrameEvent event);
+
+/// Inverse mapping; nullopt for non-frame event types.
+[[nodiscard]] std::optional<FrameEvent> frame_event_from_type(
+    std::string_view type);
+
 struct FrameTraceRecord {
   SimTime time{0};
   std::uint64_t frame_id{0};
   FrameEvent event{FrameEvent::kCaptured};
 };
 
-class FrameTracer {
+class FrameTracer final : public obs::TraceSink {
  public:
   /// Retains the most recent `capacity` records.
   explicit FrameTracer(std::size_t capacity = 1 << 16);
 
   void record(SimTime time, std::uint64_t frame_id, FrameEvent event);
+
+  /// TraceSink: retains frame.* lifecycle events, drops everything else.
+  void emit(const obs::TraceEvent& event) override;
 
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   [[nodiscard]] std::uint64_t total_recorded() const { return total_; }

@@ -9,10 +9,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 
-#include "ff/device/frame_trace.h"
 #include "ff/device/offload_transport.h"
+#include "ff/obs/trace.h"
 #include "ff/device/telemetry.h"
 #include "ff/sim/simulator.h"
 #include "ff/util/stats.h"
@@ -23,6 +25,8 @@ struct OffloadClientConfig {
   /// Maximum tolerable end-to-end offload latency L (paper: 250 ms),
   /// measured from frame capture.
   SimDuration deadline{250 * kMillisecond};
+  /// Source name stamped on trace events (usually the device name).
+  std::string name{"offload"};
 };
 
 struct OffloadClientStats {
@@ -66,8 +70,9 @@ class OffloadClient {
   [[nodiscard]] std::size_t in_flight() const { return pending_.size() + probes_.size(); }
   [[nodiscard]] const OffloadClientConfig& config() const { return config_; }
 
-  /// Attaches a lifecycle tracer (nullptr detaches). Not owned.
-  void attach_tracer(FrameTracer* tracer) { tracer_ = tracer; }
+  /// Attaches a trace sink for offload lifecycle events (nullptr
+  /// detaches). Not owned.
+  void attach_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
 
  private:
   struct PendingFrame {
@@ -84,6 +89,8 @@ class OffloadClient {
   void handle_failure(std::uint64_t id);
   void handle_deadline(std::uint64_t id);
 
+  void trace(SimTime t, std::string_view type, std::uint64_t frame_id);
+
   sim::Simulator& sim_;
   OffloadTransport& transport_;
   Telemetry& telemetry_;
@@ -91,7 +98,7 @@ class OffloadClient {
   std::unordered_map<std::uint64_t, PendingFrame> pending_;
   std::unordered_map<std::uint64_t, PendingProbe> probes_;
   OffloadClientStats stats_;
-  FrameTracer* tracer_{nullptr};
+  obs::TraceSink* sink_{nullptr};
 };
 
 }  // namespace ff::device

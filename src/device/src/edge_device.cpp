@@ -27,13 +27,10 @@ EdgeDevice::EdgeDevice(sim::Simulator& sim, OffloadTransport& transport,
              LocalEngineConfig{config_.local_queue_capacity},
              [this](std::uint64_t frame_id, SimTime) {
                telemetry_.record_local_completion(sim_.now());
-               if (tracer_) {
-                 tracer_->record(sim_.now(), frame_id,
-                                 FrameEvent::kLocalCompleted);
-               }
+               trace(sim_.now(), obs::ev::kFrameLocalCompleted, frame_id);
              }),
       offload_(sim, transport, telemetry_,
-               OffloadClientConfig{config_.deadline}),
+               OffloadClientConfig{config_.deadline, config_.name}),
       source_(sim,
               FrameSourceConfig{Rate{config_.source_fps}, config_.frame_limit,
                                 config_.capture_jitter_fraction},
@@ -59,17 +56,17 @@ double EdgeDevice::effective_accuracy() const {
                                     config_.frame);
 }
 
-void EdgeDevice::attach_tracer(FrameTracer* tracer) {
-  tracer_ = tracer;
-  offload_.attach_tracer(tracer);
+void EdgeDevice::attach_trace_sink(obs::TraceSink* sink) {
+  sink_ = sink;
+  offload_.attach_trace_sink(sink);
 }
 
 void EdgeDevice::on_frame(std::uint64_t index, SimTime t) {
   telemetry_.record_frame_captured(t);
-  if (tracer_) tracer_->record(t, index, FrameEvent::kCaptured);
+  trace(t, obs::ev::kFrameCaptured, index);
   const Route route = dispatcher_.route_next();
   if (route == Route::kOffload) {
-    if (tracer_) tracer_->record(t, index, FrameEvent::kRoutedOffload);
+    trace(t, obs::ev::kFrameRoutedOffload, index);
     // JPEG encoding happens on-device before transmission; the deadline
     // clock is already running.
     const SimDuration encode = models::encode_time(config_.frame);
@@ -77,10 +74,10 @@ void EdgeDevice::on_frame(std::uint64_t index, SimTime t) {
       offload_.offload_frame(index, t, frame_payload_);
     });
   } else {
-    if (tracer_) tracer_->record(t, index, FrameEvent::kRoutedLocal);
+    trace(t, obs::ev::kFrameRoutedLocal, index);
     if (!local_.submit(index, t)) {
       telemetry_.record_local_drop(t);
-      if (tracer_) tracer_->record(t, index, FrameEvent::kLocalDropped);
+      trace(t, obs::ev::kFrameLocalDropped, index);
     }
   }
 }

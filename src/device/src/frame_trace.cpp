@@ -19,6 +19,34 @@ std::string_view frame_event_name(FrameEvent event) {
   return "?";
 }
 
+std::string_view frame_event_type(FrameEvent event) {
+  switch (event) {
+    case FrameEvent::kCaptured: return obs::ev::kFrameCaptured;
+    case FrameEvent::kRoutedLocal: return obs::ev::kFrameRoutedLocal;
+    case FrameEvent::kRoutedOffload: return obs::ev::kFrameRoutedOffload;
+    case FrameEvent::kLocalCompleted: return obs::ev::kFrameLocalCompleted;
+    case FrameEvent::kLocalDropped: return obs::ev::kFrameLocalDropped;
+    case FrameEvent::kOffloadSent: return obs::ev::kFrameOffloadSent;
+    case FrameEvent::kOffloadSuccess: return obs::ev::kFrameOffloadSuccess;
+    case FrameEvent::kTimeoutNetwork: return obs::ev::kFrameTimeoutNetwork;
+    case FrameEvent::kTimeoutLoad: return obs::ev::kFrameTimeoutLoad;
+  }
+  return "?";
+}
+
+std::optional<FrameEvent> frame_event_from_type(std::string_view type) {
+  if (type == obs::ev::kFrameCaptured) return FrameEvent::kCaptured;
+  if (type == obs::ev::kFrameRoutedLocal) return FrameEvent::kRoutedLocal;
+  if (type == obs::ev::kFrameRoutedOffload) return FrameEvent::kRoutedOffload;
+  if (type == obs::ev::kFrameLocalCompleted) return FrameEvent::kLocalCompleted;
+  if (type == obs::ev::kFrameLocalDropped) return FrameEvent::kLocalDropped;
+  if (type == obs::ev::kFrameOffloadSent) return FrameEvent::kOffloadSent;
+  if (type == obs::ev::kFrameOffloadSuccess) return FrameEvent::kOffloadSuccess;
+  if (type == obs::ev::kFrameTimeoutNetwork) return FrameEvent::kTimeoutNetwork;
+  if (type == obs::ev::kFrameTimeoutLoad) return FrameEvent::kTimeoutLoad;
+  return std::nullopt;
+}
+
 FrameTracer::FrameTracer(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
@@ -27,6 +55,12 @@ void FrameTracer::record(SimTime time, std::uint64_t frame_id,
   ++total_;
   records_.push_back({time, frame_id, event});
   while (records_.size() > capacity_) records_.pop_front();
+}
+
+void FrameTracer::emit(const obs::TraceEvent& event) {
+  const auto fe = frame_event_from_type(event.type);
+  if (!fe) return;
+  record(event.time, event.id, *fe);
 }
 
 std::vector<FrameTraceRecord> FrameTracer::lifecycle(

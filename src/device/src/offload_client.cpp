@@ -8,7 +8,10 @@ namespace ff::device {
 
 OffloadClient::OffloadClient(sim::Simulator& sim, OffloadTransport& transport,
                              Telemetry& telemetry, OffloadClientConfig config)
-    : sim_(sim), transport_(transport), telemetry_(telemetry), config_(config) {
+    : sim_(sim),
+      transport_(transport),
+      telemetry_(telemetry),
+      config_(std::move(config)) {
   transport_.set_on_response(
       [this](std::uint64_t id, bool rejected) { handle_response(id, rejected); });
   transport_.set_on_failure([this](std::uint64_t id) { handle_failure(id); });
@@ -21,7 +24,7 @@ void OffloadClient::offload_frame(std::uint64_t frame_id, SimTime capture_time,
 
   // Deadline is anchored at capture, not at send: encode time already
   // consumed part of the budget.
-  if (tracer_) tracer_->record(sim_.now(), frame_id, FrameEvent::kOffloadSent);
+  trace(sim_.now(), obs::ev::kFrameOffloadSent, frame_id);
   const SimTime deadline_at = capture_time + config_.deadline;
   const sim::EventId ev = sim_.schedule_at(
       deadline_at, [this, frame_id] { handle_deadline(frame_id); });
@@ -70,7 +73,7 @@ void OffloadClient::handle_response(std::uint64_t id, bool rejected) {
   if (rejected) {
     ++stats_.timeouts_load;
     telemetry_.record_timeout_load(now);
-    if (tracer_) tracer_->record(now, id, FrameEvent::kTimeoutLoad);
+    trace(now, obs::ev::kFrameTimeoutLoad, id);
     FF_TRACE("offload") << "frame " << id << " rejected by server";
   } else {
     ++stats_.successes;
@@ -80,7 +83,7 @@ void OffloadClient::handle_response(std::uint64_t id, bool rejected) {
     stats_.latency_p95.add(latency);
     stats_.latency_p99.add(latency);
     telemetry_.record_offload_success(now, now - capture_time);
-    if (tracer_) tracer_->record(now, id, FrameEvent::kOffloadSuccess);
+    trace(now, obs::ev::kFrameOffloadSuccess, id);
   }
 }
 
@@ -99,7 +102,7 @@ void OffloadClient::handle_failure(std::uint64_t id) {
   pending_.erase(it);
   ++stats_.timeouts_network;
   telemetry_.record_timeout_network(sim_.now());
-  if (tracer_) tracer_->record(sim_.now(), id, FrameEvent::kTimeoutNetwork);
+  trace(sim_.now(), obs::ev::kFrameTimeoutNetwork, id);
 }
 
 void OffloadClient::handle_deadline(std::uint64_t id) {
@@ -109,8 +112,14 @@ void OffloadClient::handle_deadline(std::uint64_t id) {
   transport_.cancel(id);
   ++stats_.timeouts_network;
   telemetry_.record_timeout_network(sim_.now());
-  if (tracer_) tracer_->record(sim_.now(), id, FrameEvent::kTimeoutNetwork);
+  trace(sim_.now(), obs::ev::kFrameTimeoutNetwork, id);
   FF_TRACE("offload") << "frame " << id << " missed deadline";
+}
+
+void OffloadClient::trace(SimTime t, std::string_view type,
+                          std::uint64_t frame_id) {
+  if (sink_ == nullptr) return;
+  sink_->emit(obs::TraceEvent(t, type, config_.name).with_id(frame_id));
 }
 
 }  // namespace ff::device

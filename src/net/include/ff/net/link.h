@@ -13,6 +13,7 @@
 #include "ff/net/delay_model.h"
 #include "ff/net/loss_model.h"
 #include "ff/net/packet.h"
+#include "ff/obs/trace.h"
 #include "ff/sim/simulator.h"
 #include "ff/util/stats.h"
 
@@ -82,6 +83,10 @@ class Link {
   /// Called by the medium when airtime is granted; not for users.
   void medium_grant();
 
+  /// Attaches a trace sink for drop/loss/purge events (nullptr detaches).
+  /// Not owned.
+  void attach_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
+
   [[nodiscard]] const LinkConditions& conditions() const { return conditions_; }
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
   [[nodiscard]] const std::string& name() const { return config_.name; }
@@ -104,6 +109,7 @@ class Link {
   bool busy_{false};
   SharedMedium* medium_{nullptr};
   LinkStats stats_;
+  obs::TraceSink* sink_{nullptr};
 };
 
 }  // namespace ff::net

@@ -17,6 +17,7 @@
 
 #include "ff/net/link.h"
 #include "ff/net/packet.h"
+#include "ff/obs/trace.h"
 #include "ff/sim/simulator.h"
 
 namespace ff::net {
@@ -81,6 +82,10 @@ class ReliableChannel {
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
   [[nodiscard]] const TransportConfig& config() const { return config_; }
 
+  /// Attaches a trace sink for retransmit/failure events (nullptr
+  /// detaches). Not owned.
+  void attach_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
+
   /// Packet ingress, called by the demux that owns the links.
   void handle_data(const Packet& packet);
   void handle_ack(const Packet& packet);
@@ -127,6 +132,7 @@ class ReliableChannel {
   std::unordered_set<std::uint64_t> completed_;
   std::deque<std::uint64_t> completed_order_;
   ChannelStats stats_;
+  obs::TraceSink* sink_{nullptr};
 };
 
 /// A <-> B duplex path: two links and two reliable channels (uplink A->B,
@@ -150,6 +156,9 @@ class DuplexPath {
 
   /// Both links, for NetemSchedule::apply.
   [[nodiscard]] std::vector<Link*> links() { return {&forward_, &reverse_}; }
+
+  /// Attaches one trace sink to both links and both channels.
+  void attach_trace_sink(obs::TraceSink* sink);
 
  private:
   Link forward_;

@@ -23,6 +23,12 @@ bool Link::send(Packet packet) {
     ++stats_.packets_dropped_queue;
     FF_TRACE(config_.name) << "tail drop msg=" << packet.message_id
                            << " frag=" << packet.fragment_index;
+    if (sink_) {
+      sink_->emit(obs::TraceEvent(sim_.now(), obs::ev::kNetTailDrop,
+                                  config_.name)
+                      .with_id(packet.message_id)
+                      .with("frag", packet.fragment_index));
+    }
     return false;
   }
   packet.enqueued_at = sim_.now();
@@ -54,6 +60,12 @@ std::size_t Link::purge(std::uint64_t flow_id, std::uint64_t message_id) {
     }
   }
   stats_.packets_purged += removed;
+  if (removed > 0 && sink_) {
+    sink_->emit(
+        obs::TraceEvent(sim_.now(), obs::ev::kNetPurge, config_.name)
+            .with_id(message_id)
+            .with("packets", static_cast<double>(removed)));
+  }
   return removed;
 }
 
@@ -99,6 +111,11 @@ void Link::finish_service(Packet packet, SimTime enqueued_at) {
     ++stats_.packets_lost;
     FF_TRACE(config_.name) << "loss msg=" << packet.message_id
                            << " frag=" << packet.fragment_index;
+    if (sink_) {
+      sink_->emit(obs::TraceEvent(sim_.now(), obs::ev::kNetLoss, config_.name)
+                      .with_id(packet.message_id)
+                      .with("frag", packet.fragment_index));
+    }
     return;
   }
   SimDuration delay = conditions_.propagation_delay;

@@ -62,7 +62,15 @@ void ReliableChannel::transmit_fragment(std::uint64_t message_id,
   p.size = fragment_wire_size(it->second, fragment);
 
   ++stats_.fragments_sent;
-  if (attempt > 0) ++stats_.retransmissions;
+  if (attempt > 0) {
+    ++stats_.retransmissions;
+    if (sink_) {
+      sink_->emit(obs::TraceEvent(sim_.now(), obs::ev::kNetRetransmit, name_)
+                      .with_id(message_id)
+                      .with("frag", fragment)
+                      .with("attempt", attempt));
+    }
+  }
   // A tail drop behaves exactly like random loss: the RTO repairs it.
   (void)data_link_.send(p);
   arm_rto(message_id, fragment, attempt);
@@ -79,6 +87,11 @@ void ReliableChannel::arm_rto(std::uint64_t message_id, std::uint32_t fragment,
       ++stats_.sends_failed;
       FF_DEBUG(name_) << "message " << message_id << " failed (fragment "
                       << fragment << " exhausted retries)";
+      if (sink_) {
+        sink_->emit(obs::TraceEvent(sim_.now(), obs::ev::kNetSendFailed, name_)
+                        .with_id(message_id)
+                        .with("frag", fragment));
+      }
       outbox_.erase(it);
       (void)data_link_.purge(flow_id_, message_id);
       if (on_send_result_) on_send_result_(message_id, false);
@@ -218,6 +231,13 @@ DuplexPath::DuplexPath(sim::Simulator& sim, LinkConfig forward,
 void DuplexPath::set_conditions(const LinkConditions& conditions) {
   forward_.set_conditions(conditions);
   reverse_.set_conditions(conditions);
+}
+
+void DuplexPath::attach_trace_sink(obs::TraceSink* sink) {
+  forward_.attach_trace_sink(sink);
+  reverse_.attach_trace_sink(sink);
+  uplink_.attach_trace_sink(sink);
+  downlink_.attach_trace_sink(sink);
 }
 
 }  // namespace ff::net

@@ -1,0 +1,137 @@
+#pragma once
+
+// Named metrics with label support: counters, gauges and streaming
+// distributions registered once and updated by cheap inline calls.
+// Lookup (name + labels -> metric) happens at registration; hot paths
+// hold the returned reference, so recording is an increment. Snapshots
+// and JSON export serve benches, `ffctl --metrics-out=`, and regression
+// tooling.
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ff/util/stats.h"
+
+namespace ff::obs {
+
+/// Metric labels as ordered key/value pairs, e.g. {{"device","pi-1"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kDistribution };
+
+[[nodiscard]] std::string_view metric_kind_name(MetricKind kind);
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void add(double delta = 1.0) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_{0.0};
+};
+
+/// Last-written value.
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_{0.0};
+};
+
+/// Streaming summary of observed values: count/mean/min/max plus P²
+/// quantile estimates at p50/p95/p99.
+class Distribution {
+ public:
+  Distribution() : p50_(0.5), p95_(0.95), p99_(0.99) {}
+
+  void observe(double value) {
+    stats_.add(value);
+    p50_.add(value);
+    p95_.add(value);
+    p99_.add(value);
+  }
+
+  [[nodiscard]] std::size_t count() const { return stats_.count(); }
+  [[nodiscard]] double mean() const { return stats_.mean(); }
+  [[nodiscard]] double min() const { return stats_.min(); }
+  [[nodiscard]] double max() const { return stats_.max(); }
+  [[nodiscard]] double p50() const { return p50_.value(); }
+  [[nodiscard]] double p95() const { return p95_.value(); }
+  [[nodiscard]] double p99() const { return p99_.value(); }
+
+ private:
+  StreamingStats stats_;
+  P2Quantile p50_;
+  P2Quantile p95_;
+  P2Quantile p99_;
+};
+
+/// Point-in-time value of one metric (all kinds flattened).
+struct MetricSnapshot {
+  std::string name;
+  Labels labels;
+  MetricKind kind{MetricKind::kCounter};
+  double value{0.0};  ///< counter/gauge value; distribution mean
+  // Distribution-only summary fields.
+  std::uint64_t count{0};
+  double min{0.0};
+  double max{0.0};
+  double p50{0.0};
+  double p95{0.0};
+  double p99{0.0};
+};
+
+/// Registry of metrics keyed by (name, labels). Registration returns a
+/// stable reference (storage is a deque; references never move), so call
+/// sites resolve once and update for free afterwards. Re-registering the
+/// same (name, labels, kind) returns the existing metric; reusing a key
+/// with a different kind throws std::invalid_argument.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name, Labels labels = {});
+  [[nodiscard]] Gauge& gauge(std::string_view name, Labels labels = {});
+  [[nodiscard]] Distribution& distribution(std::string_view name,
+                                           Labels labels = {});
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Flattened view of every registered metric, in registration order.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// One JSON document: {"metrics":[{...},...]}.
+  void write_json(std::ostream& os) const;
+
+  /// Writes the JSON document to `path`; throws std::runtime_error on
+  /// failure.
+  void write_json_file(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricKind kind;
+    Counter counter;
+    Gauge gauge;
+    Distribution distribution;
+  };
+
+  Entry& find_or_create(std::string_view name, Labels labels, MetricKind kind);
+
+  std::deque<Entry> entries_;  ///< deque: references stay valid across growth
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace ff::obs

@@ -1,0 +1,188 @@
+#include "ff/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace ff::obs {
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<std::int64_t>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
+/// Lookup key: name plus labels in given order. Label order is part of
+/// the identity, which callers get right for free because call sites are
+/// static.
+[[nodiscard]] std::string make_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '|';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string_view metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kDistribution: return "distribution";
+  }
+  return "?";
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,
+                                                        Labels labels,
+                                                        MetricKind kind) {
+  const std::string key = make_key(name, labels);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    Entry& e = entries_[it->second];
+    if (e.kind != kind) {
+      throw std::invalid_argument("MetricsRegistry: metric '" + key +
+                                  "' already registered as " +
+                                  std::string(metric_kind_name(e.kind)));
+    }
+    return e;
+  }
+  index_.emplace(key, entries_.size());
+  Entry& e = entries_.emplace_back();
+  e.name = std::string(name);
+  e.labels = std::move(labels);
+  e.kind = kind;
+  return e;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  return find_or_create(name, std::move(labels), MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  return find_or_create(name, std::move(labels), MetricKind::kGauge).gauge;
+}
+
+Distribution& MetricsRegistry::distribution(std::string_view name,
+                                            Labels labels) {
+  return find_or_create(name, std::move(labels), MetricKind::kDistribution)
+      .distribution;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSnapshot s;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.value = e.counter.value();
+        break;
+      case MetricKind::kGauge:
+        s.value = e.gauge.value();
+        break;
+      case MetricKind::kDistribution:
+        s.value = e.distribution.mean();
+        s.count = e.distribution.count();
+        s.min = e.distribution.min();
+        s.max = e.distribution.max();
+        s.p50 = e.distribution.p50();
+        s.p95 = e.distribution.p95();
+        s.p99 = e.distribution.p99();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSnapshot& s : snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"";
+    write_escaped(os, s.name);
+    os << "\",\"kind\":\"" << metric_kind_name(s.kind) << '"';
+    if (!s.labels.empty()) {
+      os << ",\"labels\":{";
+      bool lfirst = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!lfirst) os << ',';
+        lfirst = false;
+        os << '"';
+        write_escaped(os, k);
+        os << "\":\"";
+        write_escaped(os, v);
+        os << '"';
+      }
+      os << '}';
+    }
+    if (s.kind == MetricKind::kDistribution) {
+      os << ",\"count\":" << s.count << ",\"mean\":";
+      write_number(os, s.value);
+      os << ",\"min\":";
+      write_number(os, s.min);
+      os << ",\"max\":";
+      write_number(os, s.max);
+      os << ",\"p50\":";
+      write_number(os, s.p50);
+      os << ",\"p95\":";
+      write_number(os, s.p95);
+      os << ",\"p99\":";
+      write_number(os, s.p99);
+    } else {
+      os << ",\"value\":";
+      write_number(os, s.value);
+    }
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+void MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry: cannot open " + path);
+  }
+  write_json(out);
+}
+
+}  // namespace ff::obs

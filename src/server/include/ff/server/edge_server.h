@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ff/models/latency_model.h"
+#include "ff/obs/trace.h"
 #include "ff/server/request.h"
 #include "ff/sim/simulator.h"
 #include "ff/util/histogram.h"
@@ -40,7 +41,7 @@ struct ServerStats {
   std::uint64_t batches_executed{0};
   StreamingStats batch_size{};
   StreamingStats service_latency_us{};  ///< completed requests only
-  SimDuration gpu_busy_time{0};
+  SimDuration gpu_busy_time{0};         ///< finished batches only
 
   [[nodiscard]] double mean_batch_size() const { return batch_size.mean(); }
 };
@@ -68,8 +69,14 @@ class EdgeServer {
 
   [[nodiscard]] bool gpu_busy() const { return gpu_busy_; }
 
-  /// GPU utilization over the sim so far (busy time / elapsed time).
+  /// GPU utilization over the sim so far (busy time / elapsed time). An
+  /// in-flight batch is credited only for the time it has actually run,
+  /// so mid-batch queries never over-report.
   [[nodiscard]] double gpu_utilization() const;
+
+  /// Attaches a trace sink for batch/reject/complete events (nullptr
+  /// detaches). Not owned.
+  void attach_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
 
  private:
   struct PendingRequest {
@@ -91,10 +98,15 @@ class EdgeServer {
 
   sim::Simulator& sim_;
   ServerConfig config_;
-  std::vector<ModelQueue> queues_;
+  /// Deque, not vector: queue_for hands out references that must survive
+  /// another model's first submit growing the container mid-callback.
+  std::deque<ModelQueue> queues_;
   std::size_t next_queue_rr_{0};  ///< round-robin cursor across models
   bool gpu_busy_{false};
+  SimTime batch_started_at_{0};    ///< valid while gpu_busy_
+  SimDuration batch_exec_{0};      ///< scheduled runtime of in-flight batch
   ServerStats stats_;
+  obs::TraceSink* sink_{nullptr};
 };
 
 }  // namespace ff::server

@@ -1,5 +1,6 @@
 #include "ff/server/edge_server.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -53,7 +54,14 @@ std::size_t EdgeServer::queue_depth(models::ModelId model) const {
 double EdgeServer::gpu_utilization() const {
   const SimTime elapsed = sim_.now();
   if (elapsed <= 0) return 0.0;
-  return static_cast<double>(stats_.gpu_busy_time) / static_cast<double>(elapsed);
+  // Finished batches plus the elapsed share of the in-flight batch: the
+  // whole batch must not be credited at start, or mid-batch queries
+  // over-report (historically above 1.0 early in a run).
+  SimDuration busy = stats_.gpu_busy_time;
+  if (gpu_busy_) {
+    busy += std::min<SimDuration>(elapsed - batch_started_at_, batch_exec_);
+  }
+  return static_cast<double>(busy) / static_cast<double>(elapsed);
 }
 
 void EdgeServer::maybe_start_batch() {
@@ -93,17 +101,35 @@ void EdgeServer::start_batch(ModelQueue& queue) {
   ++stats_.batches_executed;
 
   const SimDuration exec = queue.latency.sample(batch_size);
-  stats_.gpu_busy_time += exec;
   const SimTime started_at = sim_.now();
+  batch_started_at_ = started_at;
+  batch_exec_ = exec;
   FF_TRACE(config_.name) << "batch model=" << models::model_name(queue.model)
                          << " size=" << batch_size << " exec_us=" << exec;
+  if (sink_) {
+    sink_->emit(obs::TraceEvent(started_at, obs::ev::kServerBatchStart,
+                                config_.name)
+                    .with_id(stats_.batches_executed)
+                    .with_detail("model", models::model_name(queue.model))
+                    .with("size", batch_size)
+                    .with("exec_us", static_cast<double>(exec))
+                    .with("queued", static_cast<double>(queue.pending.size())));
+  }
   sim_.schedule_in(exec, [this, batch = std::move(batch), started_at]() mutable {
     finish_batch(std::move(batch), started_at);
   });
 }
 
-void EdgeServer::finish_batch(std::vector<PendingRequest> batch, SimTime) {
+void EdgeServer::finish_batch(std::vector<PendingRequest> batch,
+                              SimTime started_at) {
   const int batch_size = static_cast<int>(batch.size());
+  stats_.gpu_busy_time += sim_.now() - started_at;
+  if (sink_) {
+    sink_->emit(obs::TraceEvent(sim_.now(), obs::ev::kServerBatchDone,
+                                config_.name)
+                    .with_id(stats_.batches_executed)
+                    .with("size", batch_size));
+  }
   for (auto& pending : batch) {
     ++stats_.requests_completed;
     RequestOutcome outcome;
@@ -112,6 +138,14 @@ void EdgeServer::finish_batch(std::vector<PendingRequest> batch, SimTime) {
     outcome.finished_at = sim_.now();
     outcome.batch_size = batch_size;
     stats_.service_latency_us.add(static_cast<double>(outcome.service_latency()));
+    if (sink_) {
+      sink_->emit(obs::TraceEvent(sim_.now(), obs::ev::kServerComplete,
+                                  config_.name)
+                      .with_id(outcome.request.request_id)
+                      .with("client", static_cast<double>(outcome.request.client_id))
+                      .with("service_us",
+                            static_cast<double>(outcome.service_latency())));
+    }
     if (pending.on_complete) pending.on_complete(outcome);
   }
   gpu_busy_ = false;
@@ -125,6 +159,12 @@ void EdgeServer::reject(PendingRequest&& pending) {
   outcome.status = RequestStatus::kRejected;
   outcome.finished_at = sim_.now();
   outcome.batch_size = 0;
+  if (sink_) {
+    sink_->emit(obs::TraceEvent(sim_.now(), obs::ev::kServerReject,
+                                config_.name)
+                    .with_id(outcome.request.request_id)
+                    .with("client", static_cast<double>(outcome.request.client_id)));
+  }
   if (pending.on_complete) pending.on_complete(outcome);
 }
 

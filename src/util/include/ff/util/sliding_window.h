@@ -3,6 +3,7 @@
 // Time-based sliding windows: the controller's view of "T over the last few
 // seconds" (paper §III-A) is computed with these.
 
+#include <algorithm>
 #include <deque>
 
 #include "ff/util/units.h"
@@ -26,10 +27,16 @@ class SlidingWindowCounter {
     return sum_;
   }
 
-  /// Event weight per second over the window (i.e. a rate).
+  /// Event weight per second over the window (i.e. a rate). During
+  /// warm-up (now < window) the divisor is the elapsed time, not the full
+  /// window: dividing by the window would systematically underestimate
+  /// every rate (T, throughput, local/offload rates) for the first window
+  /// of a run and bias the controller's earliest ticks.
   [[nodiscard]] double rate(SimTime now) {
     evict(now);
-    return sum_ / (static_cast<double>(window_) / static_cast<double>(kSecond));
+    if (now <= 0) return 0.0;
+    const auto effective = static_cast<double>(std::min(now, window_));
+    return sum_ / (effective / static_cast<double>(kSecond));
   }
 
   [[nodiscard]] SimDuration window() const { return window_; }

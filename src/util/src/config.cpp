@@ -27,7 +27,15 @@ Config Config::from_args(int argc, const char* const* argv,
       if (leftover) leftover->push_back(arg);
       continue;
     }
-    cfg.set(arg.substr(0, eq), arg.substr(eq + 1));
+    // GNU-style `--key=value` and plain `key=value` are equivalent.
+    std::string key = arg.substr(0, eq);
+    const auto first = key.find_first_not_of('-');
+    if (first == std::string::npos) {
+      if (leftover) leftover->push_back(arg);
+      continue;
+    }
+    key.erase(0, first);
+    cfg.set(key, arg.substr(eq + 1));
   }
   return cfg;
 }

@@ -7,34 +7,46 @@ namespace {
 
 TEST(Telemetry, RatesOverWindow) {
   Telemetry t(2 * kSecond);
-  for (int i = 0; i < 10; ++i) {
-    t.record_local_completion(i * kSecond / 5);  // 10 in 2s
+  // Steady state: 10 completions inside (2s, 4s], queried past warm-up.
+  for (int i = 1; i <= 10; ++i) {
+    t.record_local_completion(2 * kSecond + i * kSecond / 5);
   }
-  EXPECT_DOUBLE_EQ(t.local_rate(2 * kSecond - 1), 5.0);
+  EXPECT_DOUBLE_EQ(t.local_rate(4 * kSecond), 5.0);
+}
+
+// During warm-up (now < window) rates divide by the elapsed time, not the
+// full window: 10 completions in the first second is 10/s, not 5/s.
+TEST(Telemetry, WarmupRatesUseElapsedTime) {
+  Telemetry t(2 * kSecond);
+  for (int i = 0; i < 10; ++i) {
+    t.record_local_completion(i * kSecond / 10);
+  }
+  EXPECT_DOUBLE_EQ(t.local_rate(kSecond), 10.0);
 }
 
 TEST(Telemetry, ThroughputIsLocalPlusOffload) {
   Telemetry t(kSecond);
-  t.record_local_completion(0);
-  t.record_local_completion(0);
-  t.record_offload_success(0, 100 * kMillisecond);
-  EXPECT_DOUBLE_EQ(t.throughput(0), 3.0);
+  t.record_local_completion(kSecond);
+  t.record_local_completion(kSecond);
+  t.record_offload_success(kSecond, 100 * kMillisecond);
+  EXPECT_DOUBLE_EQ(t.throughput(kSecond), 3.0);
 }
 
 TEST(Telemetry, TimeoutRateSplitsNetworkAndLoad) {
   Telemetry t(kSecond);
-  t.record_timeout_network(0);
-  t.record_timeout_network(0);
-  t.record_timeout_load(0);
-  EXPECT_DOUBLE_EQ(t.network_timeout_rate(0), 2.0);
-  EXPECT_DOUBLE_EQ(t.load_timeout_rate(0), 1.0);
-  EXPECT_DOUBLE_EQ(t.timeout_rate(0), 3.0);
+  t.record_timeout_network(kSecond);
+  t.record_timeout_network(kSecond);
+  t.record_timeout_load(kSecond);
+  EXPECT_DOUBLE_EQ(t.network_timeout_rate(kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(t.load_timeout_rate(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(t.timeout_rate(kSecond), 3.0);
 }
 
 TEST(Telemetry, OldEventsLeaveWindow) {
   Telemetry t(2 * kSecond);
   t.record_timeout_network(0);
-  EXPECT_DOUBLE_EQ(t.timeout_rate(kSecond), 0.5);
+  // Warm-up: one event in the first elapsed second is 1/s.
+  EXPECT_DOUBLE_EQ(t.timeout_rate(kSecond), 1.0);
   EXPECT_DOUBLE_EQ(t.timeout_rate(3 * kSecond), 0.0);
 }
 
@@ -76,11 +88,11 @@ TEST(Telemetry, CaptureRateTracksFs) {
 
 TEST(Telemetry, AttemptRateSeparateFromSuccessRate) {
   Telemetry t(kSecond);
-  t.record_offload_attempt(0);
-  t.record_offload_attempt(0);
-  t.record_offload_success(0, kMillisecond);
-  EXPECT_DOUBLE_EQ(t.offload_attempt_rate(0), 2.0);
-  EXPECT_DOUBLE_EQ(t.offload_success_rate(0), 1.0);
+  t.record_offload_attempt(kSecond);
+  t.record_offload_attempt(kSecond);
+  t.record_offload_success(kSecond, kMillisecond);
+  EXPECT_DOUBLE_EQ(t.offload_attempt_rate(kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(t.offload_success_rate(kSecond), 1.0);
 }
 
 }  // namespace

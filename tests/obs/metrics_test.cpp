@@ -1,0 +1,116 @@
+#include "ff/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ff::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("frames");
+  c.add();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  // Same key resolves to the same metric.
+  EXPECT_DOUBLE_EQ(reg.counter("frames").value(), 3.5);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, LabelsDistinguishMetrics) {
+  MetricsRegistry reg;
+  reg.counter("frames", {{"device", "pi-1"}}).add(1.0);
+  reg.counter("frames", {{"device", "pi-2"}}).add(2.0);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_DOUBLE_EQ(reg.counter("frames", {{"device", "pi-1"}}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.counter("frames", {{"device", "pi-2"}}).value(), 2.0);
+}
+
+TEST(MetricsRegistry, ReferencesSurviveGrowth) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("first");
+  // Force enough growth to reallocate any contiguous storage.
+  for (int i = 0; i < 200; ++i) {
+    reg.counter("c" + std::to_string(i)).add(1.0);
+  }
+  first.add(7.0);
+  EXPECT_DOUBLE_EQ(reg.counter("first").value(), 7.0);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  (void)reg.counter("x");
+  EXPECT_THROW((void)reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW((void)reg.distribution("x"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, GaugeKeepsLastValue) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("po");
+  g.set(3.0);
+  g.set(12.5);
+  EXPECT_DOUBLE_EQ(g.value(), 12.5);
+}
+
+TEST(MetricsRegistry, DistributionSummarizes) {
+  MetricsRegistry reg;
+  Distribution& d = reg.distribution("latency_us");
+  for (int i = 1; i <= 100; ++i) d.observe(static_cast<double>(i));
+  EXPECT_EQ(d.count(), 100u);
+  EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 100.0);
+  EXPECT_NEAR(d.p50(), 50.0, 5.0);
+  EXPECT_NEAR(d.p95(), 95.0, 5.0);
+}
+
+TEST(MetricsRegistry, SnapshotPreservesRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.counter("a").add(1.0);
+  reg.gauge("b").set(2.0);
+  reg.distribution("c").observe(3.0);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a");
+  EXPECT_EQ(snap[0].kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(snap[0].value, 1.0);
+  EXPECT_EQ(snap[1].name, "b");
+  EXPECT_EQ(snap[1].kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(snap[1].value, 2.0);
+  EXPECT_EQ(snap[2].name, "c");
+  EXPECT_EQ(snap[2].kind, MetricKind::kDistribution);
+  EXPECT_EQ(snap[2].count, 1u);
+}
+
+TEST(MetricsRegistry, WriteJsonEmitsOneDocument) {
+  MetricsRegistry reg;
+  reg.counter("frames", {{"device", "pi-1"}}).add(42.0);
+  reg.gauge("po").set(3.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"metrics\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"frames\""), std::string::npos);
+  EXPECT_NE(json.find("\"device\":\"pi-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"gauge\""), std::string::npos);
+  // Balanced braces/brackets -- cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(MetricsRegistry, EscapesLabelStrings) {
+  MetricsRegistry reg;
+  reg.counter("weird", {{"path", "a\"b\\c"}}).add(1.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_NE(os.str().find("a\\\"b\\\\c"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ff::obs

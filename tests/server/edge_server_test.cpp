@@ -177,6 +177,65 @@ TEST(EdgeServer, ServiceLatencyIncludesQueueing) {
   EXPECT_GT(c.outcomes[1].service_latency(), c.outcomes[0].service_latency() / 2);
 }
 
+// Regression: queue_for hands out a reference into the queue container, and
+// start_batch keeps using it across rejection callbacks. A rejected client
+// may react by submitting the first-ever request for a *different* model,
+// growing the container mid-loop; when the container was a vector that
+// reallocation left start_batch iterating a dangling reference (caught by
+// ASan). The container is now a deque, whose references survive growth.
+TEST(EdgeServer, RejectionCallbackMayRegisterNewModelMidBatch) {
+  sim::Simulator sim;
+  ServerConfig cfg;
+  cfg.batch_limit = 1;
+  EdgeServer server(sim, cfg);
+  Collector small, b0;
+  server.submit(req(0), small.fn());  // occupies the GPU
+  (void)sim.schedule_in(kMillisecond, [&] {
+    server.submit(req(1), small.fn());
+    // Rejected when the next batch starts; retries on another model whose
+    // queue does not exist yet.
+    server.submit(req(2), [&](const RequestOutcome& o) {
+      if (o.status == RequestStatus::kRejected) {
+        server.submit(req(100, models::ModelId::kEfficientNetB0), b0.fn());
+      }
+    });
+    // Still pending behind req 2, so the rejection loop keeps touching the
+    // queue after the callback grew the container.
+    server.submit(req(3), small.fn());
+  });
+  sim.run();
+  EXPECT_EQ(small.completed(), 2);  // 0 and 1
+  EXPECT_EQ(b0.completed(), 1);
+  EXPECT_EQ(server.stats().requests_rejected, 2u);  // 2 and 3
+  EXPECT_EQ(server.stats().requests_completed, 3u);
+}
+
+// Regression: gpu_utilization used to credit a batch's whole execution time
+// the moment the batch started, so queries landing mid-batch over-reported
+// -- above 1.0 when most of the elapsed run was one in-flight batch.
+TEST(EdgeServer, GpuUtilizationProratesInFlightBatch) {
+  sim::Simulator sim;
+  EdgeServer server(sim, {});
+  Collector c;
+  server.submit(req(0), c.fn());  // batch starts at t=0, exec ~ several ms
+  sim.run_until(kMillisecond);
+  ASSERT_TRUE(server.gpu_busy());
+  // Mid-batch the GPU has been busy for exactly the elapsed time.
+  EXPECT_DOUBLE_EQ(server.gpu_utilization(), 1.0);
+}
+
+TEST(EdgeServer, GpuUtilizationFallsWhileIdle) {
+  sim::Simulator sim;
+  EdgeServer server(sim, {});
+  Collector c;
+  server.submit(req(0), c.fn());
+  sim.run();                       // batch done, GPU idle
+  const SimTime done = sim.now();
+  sim.run_until(done * 2);         // idle as long as it was busy
+  EXPECT_FALSE(server.gpu_busy());
+  EXPECT_NEAR(server.gpu_utilization(), 0.5, 0.02);
+}
+
 TEST(EdgeServer, GpuUtilizationBetweenZeroAndOne) {
   sim::Simulator sim;
   EdgeServer server(sim, {});

@@ -24,7 +24,28 @@ TEST(SlidingWindowCounter, EvictsOldEntries) {
 TEST(SlidingWindowCounter, RateIsPerSecond) {
   SlidingWindowCounter w(2 * kSecond);
   for (int i = 0; i < 6; ++i) w.add(i * kSecond / 4);  // 6 events in 1.25s
-  EXPECT_DOUBLE_EQ(w.rate(3 * kSecond / 2), 3.0);      // 6 / 2s window
+  // Still warming up at t=1.5s: divide by the elapsed 1.5s, not the 2s
+  // window.
+  EXPECT_DOUBLE_EQ(w.rate(3 * kSecond / 2), 4.0);
+  // Past warm-up the divisor is the window.
+  for (int i = 0; i < 6; ++i) w.add(2 * kSecond + i * kSecond / 4);
+  EXPECT_DOUBLE_EQ(w.rate(7 * kSecond / 2), 3.0);  // 6 events / 2s window
+}
+
+// Regression: rate() used to divide by the full window even when the clock
+// had not yet advanced past it, underestimating every rate during the first
+// window of a run (e.g. 30 events in the first second reported as 15/s over
+// a 2s window) and biasing the controller's earliest ticks.
+TEST(SlidingWindowCounter, WarmupRateUsesElapsedTime) {
+  SlidingWindowCounter w(2 * kSecond);
+  for (int i = 0; i < 30; ++i) w.add(i * kSecond / 30);
+  EXPECT_DOUBLE_EQ(w.rate(kSecond), 30.0);
+}
+
+TEST(SlidingWindowCounter, RateAtTimeZeroIsZero) {
+  SlidingWindowCounter w(2 * kSecond);
+  w.add(0, 5.0);
+  EXPECT_DOUBLE_EQ(w.rate(0), 0.0);
 }
 
 TEST(SlidingWindowCounter, WeightsAccumulate) {
