@@ -5,10 +5,12 @@
 // This is the NetEm stand-in -- bandwidth/loss changes mid-run reproduce
 // the paper's `tc netem rate/loss` reconfiguration (Table V).
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "ff/net/delay_model.h"
 #include "ff/net/loss_model.h"
@@ -94,6 +96,22 @@ class Link {
   [[nodiscard]] bool busy() const { return busy_; }
 
  private:
+  /// Key of the queued-data index: purge() targets one message of one flow.
+  struct FlowMessageKey {
+    std::uint64_t flow_id;
+    std::uint64_t message_id;
+
+    friend bool operator==(const FlowMessageKey&,
+                           const FlowMessageKey&) = default;
+  };
+  struct FlowMessageKeyHash {
+    std::size_t operator()(const FlowMessageKey& k) const {
+      std::uint64_t h = k.flow_id * 0x9E3779B97F4A7C15ull;
+      h ^= k.message_id + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   void start_service();
   void serve_front();
   void finish_service(Packet packet, SimTime enqueued_at);
@@ -106,6 +124,12 @@ class Link {
   Rng rng_;
   DeliveryFn receiver_;
   std::deque<Packet> queue_;
+  /// Queued kData packets per (flow, message): lets purge() reject misses
+  /// in O(1) and stop scanning at the last match, instead of walking the
+  /// whole interface queue per cancelled frame (quadratic during the
+  /// Fig. 3 recovery phase's mass deadline expiry).
+  std::unordered_map<FlowMessageKey, std::uint32_t, FlowMessageKeyHash>
+      queued_data_;
   bool busy_{false};
   SharedMedium* medium_{nullptr};
   LinkStats stats_;

@@ -1,5 +1,6 @@
 #include "ff/net/link.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "ff/net/shared_medium.h"
@@ -32,6 +33,9 @@ bool Link::send(Packet packet) {
     return false;
   }
   packet.enqueued_at = sim_.now();
+  if (packet.kind == PacketKind::kData) {
+    ++queued_data_[FlowMessageKey{packet.flow_id, packet.message_id}];
+  }
   queue_.push_back(packet);
   if (!busy_) start_service();
   return true;
@@ -49,18 +53,26 @@ void Link::set_loss_model(std::unique_ptr<LossModel> model) {
 }
 
 std::size_t Link::purge(std::uint64_t flow_id, std::uint64_t message_id) {
-  std::size_t removed = 0;
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    if (it->flow_id == flow_id && it->message_id == message_id &&
-        it->kind == PacketKind::kData) {
-      it = queue_.erase(it);
-      ++removed;
-    } else {
-      ++it;
-    }
+  const auto indexed = queued_data_.find(FlowMessageKey{flow_id, message_id});
+  if (indexed == queued_data_.end()) return 0;
+  const std::size_t removed = indexed->second;
+  const auto matches = [&](const Packet& p) {
+    return p.flow_id == flow_id && p.message_id == message_id &&
+           p.kind == PacketKind::kData;
+  };
+  // The index says exactly `removed` matches are queued; scan only up to
+  // the last one (in deadline-expiry order that is near the queue front),
+  // then compact that prefix in one pass.
+  std::size_t remaining = removed;
+  auto scan_end = queue_.begin();
+  while (remaining > 0) {
+    if (matches(*scan_end)) --remaining;
+    ++scan_end;
   }
+  queue_.erase(std::remove_if(queue_.begin(), scan_end, matches), scan_end);
+  queued_data_.erase(indexed);
   stats_.packets_purged += removed;
-  if (removed > 0 && sink_) {
+  if (sink_) {
     sink_->emit(
         obs::TraceEvent(sim_.now(), obs::ev::kNetPurge, config_.name)
             .with_id(message_id)
@@ -96,6 +108,11 @@ void Link::serve_front() {
   }
   Packet packet = queue_.front();
   queue_.pop_front();
+  if (packet.kind == PacketKind::kData) {
+    const auto it =
+        queued_data_.find(FlowMessageKey{packet.flow_id, packet.message_id});
+    if (it != queued_data_.end() && --it->second == 0) queued_data_.erase(it);
+  }
   stats_.queueing_delay_us.add(static_cast<double>(sim_.now() - packet.enqueued_at));
 
   const SimDuration ser = conditions_.bandwidth.serialization_time(packet.size);

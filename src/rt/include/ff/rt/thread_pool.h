@@ -3,14 +3,17 @@
 // Fixed-size worker pool. The bench harness uses it to run independent
 // experiments (controller variants, gain grids, parameter sweeps) across
 // cores -- each experiment owns its own Simulator, so runs share nothing.
+//
+// Tasks travel as sim::InlineTask, which accepts move-only callables, so
+// submit() wraps the work in a packaged_task directly instead of the
+// shared_ptr<packaged_task> detour a copyable std::function would force.
 
-#include <functional>
 #include <future>
-#include <memory>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "ff/sim/inline_task.h"
 #include "ff/util/mpmc_queue.h"
 
 namespace ff::rt {
@@ -28,9 +31,9 @@ class ThreadPool {
   template <class F>
   [[nodiscard]] auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
-    std::future<R> future = task->get_future();
-    queue_.push([task] { (*task)(); });
+    std::packaged_task<R()> task(std::forward<F>(f));
+    std::future<R> future = task.get_future();
+    queue_.push(sim::InlineTask(std::move(task)));
     return future;
   }
 
@@ -39,17 +42,23 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  MpmcQueue<std::function<void()>> queue_;
+  MpmcQueue<sim::InlineTask> queue_;
   std::vector<std::thread> workers_;
 };
 
-/// Applies `fn` to every index [0, n) in parallel and collects results in
-/// order. `fn(i)` must be independent across i.
+/// Process-wide shared pool (hardware_concurrency workers), created on
+/// first use. Lets call sites that fan out repeatedly -- benches sweeping a
+/// grid in a loop -- reuse one set of threads instead of paying pool
+/// construction per sweep.
+[[nodiscard]] ThreadPool& default_pool();
+
+/// Applies `fn` to every index [0, n) on an existing pool and collects
+/// results in order. `fn(i)` must be independent across i, and must not
+/// itself block on the same pool.
 template <class Fn>
-[[nodiscard]] auto parallel_map(std::size_t n, Fn fn, std::size_t threads = 0)
+[[nodiscard]] auto parallel_map(ThreadPool& pool, std::size_t n, Fn fn)
     -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
   using R = std::invoke_result_t<Fn, std::size_t>;
-  ThreadPool pool(threads);
   std::vector<std::future<R>> futures;
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -59,6 +68,17 @@ template <class Fn>
   results.reserve(n);
   for (auto& f : futures) results.push_back(f.get());
   return results;
+}
+
+/// Applies `fn` to every index [0, n) in parallel and collects results in
+/// order. `threads` = 0 runs on the shared default_pool(); a nonzero count
+/// spins up a dedicated pool of that size for this call.
+template <class Fn>
+[[nodiscard]] auto parallel_map(std::size_t n, Fn fn, std::size_t threads = 0)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+  if (threads == 0) return parallel_map(default_pool(), n, std::move(fn));
+  ThreadPool pool(threads);
+  return parallel_map(pool, n, std::move(fn));
 }
 
 }  // namespace ff::rt

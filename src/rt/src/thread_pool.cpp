@@ -26,4 +26,9 @@ void ThreadPool::worker_loop() {
   }
 }
 
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
 }  // namespace ff::rt

@@ -1,0 +1,151 @@
+#pragma once
+
+// InlineTask: the kernel's callable. A move-only void() wrapper with 64
+// bytes of in-place storage, so scheduling an event never touches the heap
+// for the capture sizes the simulator actually produces (a `this` pointer
+// plus a handful of ids). Oversized or alignment-exotic captures fall back
+// to a single heap allocation. Unlike std::function it accepts move-only
+// callables (packaged_task, unique_ptr captures), which is what lets the
+// thread pool drop its shared_ptr indirection.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ff::sim {
+
+class InlineTask {
+ public:
+  /// Captures up to this many bytes live in the task itself.
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  InlineTask() noexcept = default;
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, InlineTask> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  InlineTask(F&& f) {  // NOLINT(google-explicit-constructor): call sites
+                       // pass lambdas where a task is expected
+    construct<F>(std::forward<F>(f));
+  }
+
+  InlineTask(InlineTask&& other) noexcept
+      : invoke_(other.invoke_), manage_(other.manage_) {
+    if (manage_ != nullptr) manage_(Op::kRelocate, storage_, other.storage_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  InlineTask& operator=(InlineTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      if (manage_ != nullptr) manage_(Op::kRelocate, storage_, other.storage_);
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+
+  ~InlineTask() { reset(); }
+
+  /// Destroys the held callable (releasing its captures); leaves the task
+  /// empty.
+  void reset() noexcept {
+    if (manage_ != nullptr) {
+      manage_(Op::kDestroy, storage_, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  /// Replaces the held callable, constructing the new one directly in the
+  /// task's storage (no intermediate InlineTask materialization -- this is
+  /// the scheduling hot path).
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, InlineTask> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& f) {
+    reset();
+    construct<F>(std::forward<F>(f));
+  }
+
+  /// Invokes the callable; undefined when empty.
+  void operator()() { invoke_(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+ private:
+  enum class Op { kRelocate, kDestroy };
+
+  // Non-noexcept-movable callables go to the heap too, so task moves (heap
+  // sifts, slab compaction) stay unconditionally noexcept.
+  template <class D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineCapacity && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <class F, class D = std::decay_t<F>>
+  void construct(F&& f) {
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      invoke_ = &inline_invoke<D>;
+      manage_ = &inline_manage<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      invoke_ = &heap_invoke<D>;
+      manage_ = &heap_manage<D>;
+    }
+  }
+
+  template <class D>
+  static D* inline_target(void* storage) noexcept {
+    return std::launder(reinterpret_cast<D*>(storage));
+  }
+
+  template <class D>
+  static void inline_invoke(void* storage) {
+    (*inline_target<D>(storage))();
+  }
+  template <class D>
+  static void inline_manage(Op op, void* storage, void* src) noexcept {
+    if (op == Op::kRelocate) {
+      D* from = inline_target<D>(src);
+      ::new (storage) D(std::move(*from));
+      from->~D();
+    } else {
+      inline_target<D>(storage)->~D();
+    }
+  }
+
+  template <class D>
+  static D* heap_target(void* storage) noexcept {
+    return *std::launder(reinterpret_cast<D**>(storage));
+  }
+
+  template <class D>
+  static void heap_invoke(void* storage) {
+    (*heap_target<D>(storage))();
+  }
+  template <class D>
+  static void heap_manage(Op op, void* storage, void* src) noexcept {
+    if (op == Op::kRelocate) {
+      ::new (storage) void*(*std::launder(reinterpret_cast<void**>(src)));
+    } else {
+      delete heap_target<D>(storage);
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  void (*invoke_)(void* storage){nullptr};
+  void (*manage_)(Op op, void* storage, void* src) noexcept {nullptr};
+};
+
+}  // namespace ff::sim

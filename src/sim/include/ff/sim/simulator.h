@@ -7,9 +7,10 @@
 // given the same seed and the same construction order, two runs produce
 // identical event sequences.
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <string_view>
+#include <utility>
 
 #include "ff/sim/event_queue.h"
 #include "ff/util/rng.h"
@@ -27,11 +28,20 @@ class Simulator {
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedules `action` to run `delay` from now (clamped to >= 0).
-  EventId schedule_in(SimDuration delay, std::function<void()> action);
+  /// Schedules `action` to run `delay` from now (clamped to >= 0). The
+  /// callable is forwarded straight into the event queue's slab, so small
+  /// captures never materialize an intermediate task object.
+  template <class F>
+  EventId schedule_in(SimDuration delay, F&& action) {
+    return queue_.schedule(
+        now_ + std::max<SimDuration>(delay, 0), std::forward<F>(action));
+  }
 
   /// Schedules `action` at absolute time `t` (clamped to >= now).
-  EventId schedule_at(SimTime t, std::function<void()> action);
+  template <class F>
+  EventId schedule_at(SimTime t, F&& action) {
+    return queue_.schedule(std::max(t, now_), std::forward<F>(action));
+  }
 
   /// Cancels a pending event. Safe to call with stale/executed ids.
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -62,12 +72,35 @@ class Simulator {
   /// Total events executed so far.
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
+  /// Called just before each event's action runs, with the event's (time,
+  /// sequence). A raw function pointer so the unset case is one predictable
+  /// branch on the hot path. Used by determinism golden tests to fingerprint
+  /// the executed event order; nullptr detaches.
+  using EventObserver = void (*)(void* ctx, SimTime time,
+                                 std::uint64_t sequence);
+  void set_event_observer(EventObserver observer, void* ctx) {
+    observer_ = observer;
+    observer_ctx_ = ctx;
+  }
+
  private:
-  void execute(Event e);
+  /// Pops and runs the earliest event, executing its task in place in the
+  /// queue's slab (zero task moves per event).
+  void execute_next() {
+    queue_.visit_pop(
+        [this](SimTime t, std::uint64_t sequence, InlineTask& task) {
+          now_ = t;
+          ++executed_;
+          if (observer_ != nullptr) observer_(observer_ctx_, t, sequence);
+          task();
+        });
+  }
 
   EventQueue queue_;
   SimTime now_{0};
   std::uint64_t executed_{0};
+  EventObserver observer_{nullptr};
+  void* observer_ctx_{nullptr};
   Rng root_rng_;
 };
 

@@ -48,6 +48,9 @@ class PeriodicTimer {
 };
 
 /// One-shot timer with reschedule/cancel, e.g. retransmission timeouts.
+/// The action is held in the timer and the scheduled event captures only
+/// `this`, so arm/cancel churn stays allocation-free for inline-sized
+/// actions.
 class OneShotTimer {
  public:
   explicit OneShotTimer(Simulator& sim) : sim_(sim) {}
@@ -57,7 +60,7 @@ class OneShotTimer {
   OneShotTimer& operator=(const OneShotTimer&) = delete;
 
   /// Schedules `action` after `delay`, cancelling any pending shot.
-  void arm(SimDuration delay, std::function<void()> action);
+  void arm(SimDuration delay, InlineTask action);
 
   /// Cancels the pending shot, if any.
   void cancel();
@@ -65,7 +68,10 @@ class OneShotTimer {
   [[nodiscard]] bool armed() const { return armed_; }
 
  private:
+  void fire();
+
   Simulator& sim_;
+  InlineTask action_;
   EventId pending_{};
   bool armed_{false};
 };

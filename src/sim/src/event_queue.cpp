@@ -1,52 +1,43 @@
 #include "ff/sim/event_queue.h"
 
-#include <algorithm>
-#include <cassert>
-
 namespace ff::sim {
 
-EventId EventQueue::schedule(SimTime t, std::function<void()> action) {
-  const std::uint64_t seq = next_sequence_++;
-  const EventId id{seq + 1};  // ids start at 1 so {} means "no event"
-  heap_.push_back(Entry{t, seq, id, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  live_.insert(id.value);
-  return id;
+EventId EventQueue::schedule(SimTime t, InlineTask action) {
+  const std::uint32_t slot = acquire_slot();
+  slot_at(slot).task = std::move(action);
+  return push_entry(t, slot);
 }
 
-bool EventQueue::cancel(EventId id) {
-  if (live_.erase(id.value) == 0) return false;
-  drop_dead_front();
-  return true;
-}
-
-void EventQueue::drop_dead_front() {
-  while (!heap_.empty() && live_.find(heap_.front().id.value) == live_.end()) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+EventQueue::~EventQueue() {
+  for (std::uint32_t i = 0; i < slot_count_; ++i) slot_at(i).~Slot();
+  for (Slot* chunk : chunks_) {
+    ::operator delete(static_cast<void*>(chunk));
   }
 }
 
-SimTime EventQueue::next_time() const {
-  assert(!heap_.empty());
-  return heap_.front().time;
-}
-
-Event EventQueue::pop() {
-  assert(!live_.empty());
-  drop_dead_front();
-  assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  live_.erase(e.id.value);
-  drop_dead_front();
-  return Event{e.time, e.sequence, e.id, std::move(e.action)};
+std::uint32_t EventQueue::grow_slab() {
+  assert(slot_count_ < kSlotMask && "pending-event cap exceeded");
+  if (slot_count_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(static_cast<Slot*>(
+        ::operator new(sizeof(Slot) * std::size_t{kChunkSize})));
+  }
+  const std::uint32_t slot = slot_count_++;
+  ::new (static_cast<void*>(&chunks_.back()[slot & (kChunkSize - 1)])) Slot;
+  return slot;
 }
 
 void EventQueue::clear() {
   heap_.clear();
-  live_.clear();
+  free_head_ = kNoFreeSlot;
+  for (std::uint32_t i = slot_count_; i > 0; --i) {
+    Slot& s = slot_at(i - 1);
+    if (s.sequence != kFreeSequence) {
+      s.task.reset();
+      s.sequence = kFreeSequence;
+    }
+    s.next_free = free_head_;
+    free_head_ = i - 1;
+  }
 }
 
 }  // namespace ff::sim

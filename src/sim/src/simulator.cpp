@@ -1,30 +1,13 @@
 #include "ff/sim/simulator.h"
 
-#include <algorithm>
-#include <utility>
-
 namespace ff::sim {
 
 Simulator::Simulator(std::uint64_t seed) : root_rng_(seed) {}
 
-EventId Simulator::schedule_in(SimDuration delay, std::function<void()> action) {
-  return schedule_at(now_ + std::max<SimDuration>(delay, 0), std::move(action));
-}
-
-EventId Simulator::schedule_at(SimTime t, std::function<void()> action) {
-  return queue_.schedule(std::max(t, now_), std::move(action));
-}
-
-void Simulator::execute(Event e) {
-  now_ = e.time;
-  ++executed_;
-  e.action();
-}
-
 std::uint64_t Simulator::run_until(SimTime t_end) {
   std::uint64_t n = 0;
   while (!queue_.empty() && queue_.next_time() < t_end) {
-    execute(queue_.pop());
+    execute_next();
     ++n;
   }
   // Advance the clock to the horizon even if the queue drained early so
@@ -36,7 +19,7 @@ std::uint64_t Simulator::run_until(SimTime t_end) {
 std::uint64_t Simulator::run() {
   std::uint64_t n = 0;
   while (!queue_.empty()) {
-    execute(queue_.pop());
+    execute_next();
     ++n;
   }
   return n;
@@ -44,7 +27,7 @@ std::uint64_t Simulator::run() {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  execute(queue_.pop());
+  execute_next();
   return true;
 }
 

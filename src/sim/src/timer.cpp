@@ -37,14 +37,19 @@ void PeriodicTimer::fire() {
   on_tick_(tick);
 }
 
-void OneShotTimer::arm(SimDuration delay, std::function<void()> action) {
+void OneShotTimer::arm(SimDuration delay, InlineTask action) {
   cancel();
   armed_ = true;
-  pending_ = sim_.schedule_in(delay, [this, action = std::move(action)] {
-    armed_ = false;
-    pending_ = {};
-    action();
-  });
+  action_ = std::move(action);
+  pending_ = sim_.schedule_in(delay, [this] { fire(); });
+}
+
+void OneShotTimer::fire() {
+  armed_ = false;
+  pending_ = {};
+  // Move out first so the action may re-arm this timer.
+  InlineTask action = std::move(action_);
+  action();
 }
 
 void OneShotTimer::cancel() {
@@ -52,6 +57,7 @@ void OneShotTimer::cancel() {
     sim_.cancel(pending_);
     armed_ = false;
     pending_ = {};
+    action_.reset();
   }
 }
 

@@ -165,6 +165,57 @@ TEST(Link, PurgeMatchesFlowAndMessage) {
   EXPECT_EQ(link.queue_depth(), 1u);
 }
 
+TEST(Link, PurgeUnknownMessageIsCheap) {
+  sim::Simulator sim;
+  Link link(sim, fast_link());
+  (void)link.send(data_packet(1, 0));  // in service
+  for (std::uint32_t f = 0; f < 8; ++f) (void)link.send(data_packet(2, f));
+  // Neither never-sent nor already-dequeued messages hit the queue scan.
+  EXPECT_EQ(link.purge(0, 99), 0u);
+  EXPECT_EQ(link.purge(0, 1), 0u);
+  EXPECT_EQ(link.queue_depth(), 8u);
+  EXPECT_EQ(link.stats().packets_purged, 0u);
+}
+
+TEST(Link, PurgeInterleavedMessagesKeepsOthersInOrder) {
+  // The Fig. 3 recovery pattern: many messages queued, several purged in
+  // deadline order. The purge index must remove exactly the right packets
+  // and preserve FIFO order of the survivors.
+  sim::Simulator sim;
+  Link link(sim, fast_link());
+  std::vector<std::uint64_t> delivered;
+  link.set_receiver(
+      [&](const Packet& p) { delivered.push_back(p.message_id); });
+  (void)link.send(data_packet(0, 0));  // in service
+  for (std::uint32_t f = 0; f < 3; ++f) {
+    (void)link.send(data_packet(10, f));
+    (void)link.send(data_packet(11, f));
+    (void)link.send(data_packet(12, f));
+  }
+  EXPECT_EQ(link.purge(0, 11), 3u);
+  EXPECT_EQ(link.purge(0, 11), 0u);  // idempotent: index entry is gone
+  EXPECT_EQ(link.purge(0, 10), 3u);
+  EXPECT_EQ(link.queue_depth(), 3u);
+  EXPECT_EQ(link.stats().packets_purged, 6u);
+  sim.run();
+  EXPECT_EQ(delivered,
+            (std::vector<std::uint64_t>{0, 12, 12, 12}));
+}
+
+TEST(Link, PurgeThenResendSameMessageWorks) {
+  sim::Simulator sim;
+  Link link(sim, fast_link());
+  std::uint64_t delivered = 0;
+  link.set_receiver([&](const Packet&) { ++delivered; });
+  (void)link.send(data_packet(1, 0));  // in service
+  (void)link.send(data_packet(7, 0));
+  EXPECT_EQ(link.purge(0, 7), 1u);
+  (void)link.send(data_packet(7, 0));  // retransmission after purge
+  EXPECT_EQ(link.purge(0, 7), 1u);
+  sim.run();
+  EXPECT_EQ(delivered, 1u);  // only the in-service packet survives
+}
+
 TEST(Link, StatsTrackDeliveredBytes) {
   sim::Simulator sim;
   Link link(sim, fast_link());

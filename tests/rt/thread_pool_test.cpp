@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 
 namespace ff::rt {
@@ -68,6 +69,26 @@ TEST(ThreadPool, DestructorDrainsQueue) {
   EXPECT_EQ(count.load(), 100);
 }
 
+TEST(ThreadPool, SubmitAcceptsMoveOnlyCallable) {
+  // InlineTask tasks carry move-only callables; std::function could not.
+  ThreadPool pool(1);
+  auto value = std::make_unique<int>(99);
+  auto f = pool.submit([v = std::move(value)] { return *v; });
+  EXPECT_EQ(f.get(), 99);
+}
+
+TEST(DefaultPool, IsProcessWideSingleton) {
+  ThreadPool& a = default_pool();
+  ThreadPool& b = default_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1u);
+}
+
+TEST(DefaultPool, RunsSubmittedWork) {
+  auto f = default_pool().submit([] { return 3 + 4; });
+  EXPECT_EQ(f.get(), 7);
+}
+
 TEST(ParallelMap, ResultsInOrder) {
   const auto results = parallel_map(20, [](std::size_t i) { return i * i; }, 4);
   ASSERT_EQ(results.size(), 20u);
@@ -83,6 +104,27 @@ TEST(ParallelMap, WorksWithComplexResults) {
   const auto results = parallel_map(
       5, [](std::size_t i) { return std::string(i + 1, 'x'); }, 2);
   EXPECT_EQ(results[4], "xxxxx");
+}
+
+TEST(ParallelMap, ZeroThreadsUsesDefaultPool) {
+  const auto results = parallel_map(10, [](std::size_t i) { return i + 1; });
+  ASSERT_EQ(results.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(results[i], i + 1);
+}
+
+TEST(ParallelMap, ReusesExistingPoolAcrossCalls) {
+  // The bench-loop pattern: many sweeps on one pool, no per-call thread
+  // spawn.
+  ThreadPool pool(2);
+  for (int sweep = 0; sweep < 5; ++sweep) {
+    const auto results =
+        parallel_map(pool, 8, [&](std::size_t i) { return i * (sweep + 1); });
+    ASSERT_EQ(results.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(results[i], i * static_cast<std::size_t>(sweep + 1));
+    }
+  }
+  EXPECT_EQ(pool.thread_count(), 2u);
 }
 
 }  // namespace

@@ -91,6 +91,31 @@ TEST(EventQueue, CancelFrontUpdatesNextTime) {
   EXPECT_EQ(q.next_time(), 20);
 }
 
+TEST(EventQueue, StaleIdAfterSlotReuseDoesNotCancelNewEvent) {
+  EventQueue q;
+  const EventId a = q.schedule(10, [] {});
+  (void)q.pop();  // a's slab slot is recycled for the next event
+  bool ran = false;
+  const EventId b = q.schedule(20, [&] { ran = true; });
+  EXPECT_NE(a, b);  // sequence tag differs even though the slot repeats
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().action();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, ClearInvalidatesOutstandingIds) {
+  EventQueue q;
+  const EventId id = q.schedule(10, [] {});
+  q.clear();
+  EXPECT_FALSE(q.cancel(id));
+  bool ran = false;
+  (void)q.schedule(5, [&] { ran = true; });
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().action();
+  EXPECT_TRUE(ran);
+}
+
 TEST(EventQueue, ClearDropsAll) {
   EventQueue q;
   (void)q.schedule(1, [] {});

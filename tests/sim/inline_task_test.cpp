@@ -1,0 +1,106 @@
+#include "ff/sim/inline_task.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace ff::sim {
+namespace {
+
+TEST(InlineTask, DefaultConstructedIsEmpty) {
+  InlineTask t;
+  EXPECT_FALSE(static_cast<bool>(t));
+}
+
+TEST(InlineTask, InvokesSmallLambda) {
+  int calls = 0;
+  InlineTask t([&] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(t));
+  t();
+  t();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineTask, AcceptsMoveOnlyCallable) {
+  auto value = std::make_unique<int>(7);
+  int seen = 0;
+  InlineTask t([v = std::move(value), &seen] { seen = *v; });
+  t();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(InlineTask, MoveTransfersCallableAndEmptiesSource) {
+  int calls = 0;
+  InlineTask a([&] { ++calls; });
+  InlineTask b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineTask, MoveAssignmentDestroysPreviousCallable) {
+  auto tracker = std::make_shared<int>(0);
+  InlineTask a([tracker] { (void)tracker; });
+  EXPECT_EQ(tracker.use_count(), 2);
+  a = InlineTask([] {});
+  EXPECT_EQ(tracker.use_count(), 1);  // old capture released
+}
+
+TEST(InlineTask, ResetReleasesCaptures) {
+  auto tracker = std::make_shared<int>(0);
+  InlineTask t([tracker] { (void)tracker; });
+  EXPECT_EQ(tracker.use_count(), 2);
+  t.reset();
+  EXPECT_FALSE(static_cast<bool>(t));
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(InlineTask, DestructorReleasesCaptures) {
+  auto tracker = std::make_shared<int>(0);
+  {
+    InlineTask t([tracker] { (void)tracker; });
+    EXPECT_EQ(tracker.use_count(), 2);
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(InlineTask, OversizedCaptureFallsBackToHeapAndWorks) {
+  std::array<std::uint64_t, 32> big{};  // 256 bytes, > kInlineCapacity
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i;
+  std::uint64_t sum = 0;
+  InlineTask t([big, &sum] {
+    for (const auto v : big) sum += v;
+  });
+  InlineTask moved(std::move(t));
+  moved();
+  EXPECT_EQ(sum, 31u * 32u / 2u);
+}
+
+TEST(InlineTask, OversizedCaptureReleasedOnDestruction) {
+  auto tracker = std::make_shared<int>(0);
+  {
+    std::array<std::uint64_t, 32> big{};
+    InlineTask t([tracker, big] { (void)big; });
+    EXPECT_EQ(tracker.use_count(), 2);
+    InlineTask moved(std::move(t));
+    EXPECT_EQ(tracker.use_count(), 2);
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(InlineTask, SelfMoveAssignmentIsSafe) {
+  int calls = 0;
+  InlineTask t([&] { ++calls; });
+  InlineTask& alias = t;
+  t = std::move(alias);
+  ASSERT_TRUE(static_cast<bool>(t));
+  t();
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace ff::sim
