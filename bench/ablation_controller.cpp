@@ -60,7 +60,8 @@ int main() {
     run_block(
         "(a) Controller structure:",
         {{"P-only (Kd=0)",
-          core::make_controller_factory<control::FrameFeedbackController>(p_only)},
+          core::make_controller_factory<control::FrameFeedbackController>(
+              p_only)},
          {"PD (paper Eq. 3)",
           core::make_controller_factory<control::FrameFeedbackController>(pd)},
          {"full PID (Ki=0.05)",
@@ -78,11 +79,14 @@ int main() {
     run_block(
         "(b) Update clamping (paper Table IV: min -0.5*Fs, max +0.1*Fs):",
         {{"asymmetric clamp (paper)",
-          core::make_controller_factory<control::FrameFeedbackController>(clamped)},
+          core::make_controller_factory<control::FrameFeedbackController>(
+              clamped)},
          {"no clamp",
-          core::make_controller_factory<control::FrameFeedbackController>(unclamped)},
+          core::make_controller_factory<control::FrameFeedbackController>(
+              unclamped)},
          {"symmetric mild clamp (+-0.1*Fs)",
-          core::make_controller_factory<control::FrameFeedbackController>(symmetric)}});
+          core::make_controller_factory<control::FrameFeedbackController>(
+              symmetric)}});
   }
 
   {

@@ -15,7 +15,8 @@ int main() {
 
   const std::vector<double> deadlines_ms = {100, 150, 200, 250, 350, 500};
 
-  const auto results = rt::parallel_map(deadlines_ms.size(), [&](std::size_t i) {
+  const auto results = rt::parallel_map(deadlines_ms.size(),
+                                        [&](std::size_t i) {
     core::Scenario s = core::Scenario::ideal(90 * kSecond);
     s.seed = 42;
     s.network = net::NetemSchedule::constant(
@@ -41,7 +42,8 @@ int main() {
   }
   std::cout << table.render();
 
-  std::cout << "\nReading: tighter deadlines leave no retransmission budget, so\n"
+  std::cout
+      << "\nReading: tighter deadlines leave no retransmission budget, so\n"
                "the controller holds Po lower; beyond ~250 ms the gain\n"
                "flattens -- supporting the paper's choice of L = 250 ms.\n";
   return 0;

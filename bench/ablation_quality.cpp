@@ -51,7 +51,8 @@ int main() {
        core::make_controller_factory<control::QualityAdaptController>()});
   // Fixed low quality: the static alternative to adapting.
   variants.push_back({"frame-feedback @ q55 fixed", [](std::size_t) {
-                        return std::make_unique<control::FrameFeedbackController>();
+                        return std::make_unique<
+                            control::FrameFeedbackController>();
                       }});
 
   // The q55 variant needs the scenario's frame spec changed, so run it on

@@ -32,7 +32,8 @@ int main() {
 
   const std::vector<int> device_counts = {2, 4, 6, 8, 12};
 
-  const auto results = rt::parallel_map(device_counts.size(), [&](std::size_t i) {
+  const auto results = rt::parallel_map(device_counts.size(),
+                                        [&](std::size_t i) {
     core::Scenario s = core::Scenario::ideal(60 * kSecond);
     s.seed = 42;
     const device::DeviceConfig proto = s.devices[0];

@@ -62,7 +62,8 @@ int main() {
   traces.reserve(runs.size());
   for (const auto& run : runs) {
     TimeSeries t("Kp=" + fmt(run.kp, 2) + ",Kd=" + fmt(run.kd, 2));
-    for (const auto& p : run.result.devices[0].series.find("Po_target")->points()) {
+    for (const auto& p
+        : run.result.devices[0].series.find("Po_target")->points()) {
       t.record(p.time, p.value);
     }
     traces.push_back(std::move(t));
@@ -91,7 +92,8 @@ int main() {
   }
   std::cout << cmp.render();
 
-  std::cout << "\nExpected shape (paper §III-B): the shipped (0.2, 0.26) rises\n"
+  std::cout
+      << "\nExpected shape (paper §III-B): the shipped (0.2, 0.26) rises\n"
                "cleanly to Fs=30, dips on loss injection and re-stabilizes;\n"
                "raising Kp without Kd oscillates; dropping Kd slows damping.\n";
 

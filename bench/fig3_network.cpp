@@ -15,7 +15,8 @@
 int main() {
   using namespace ff;
 
-  std::cout << "=== Fig 3: throughput under the Table V network schedule ===\n\n";
+  std::cout
+      << "=== Fig 3: throughput under the Table V network schedule ===\n\n";
 
   core::Scenario scenario = core::Scenario::paper_network();
   scenario.seed = 42;

@@ -41,7 +41,8 @@ void BM_SimulatorEventChain(benchmark::State& state) {
     (void)sim.run();
     benchmark::DoNotOptimize(count);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100'000);
 }
 BENCHMARK(BM_SimulatorEventChain);
 
@@ -59,7 +60,8 @@ void BM_SimulatorCancelHeavy(benchmark::State& state) {
     }
     (void)sim.run();
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10'000);
 }
 BENCHMARK(BM_SimulatorCancelHeavy);
 
@@ -72,7 +74,8 @@ void BM_PeriodicTimerTicks(benchmark::State& state) {
     (void)sim.run_until(100 * kSecond);
     benchmark::DoNotOptimize(ticks);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100'000);
 }
 BENCHMARK(BM_PeriodicTimerTicks);
 

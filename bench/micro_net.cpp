@@ -32,7 +32,8 @@ void BM_LinkPacketDelivery(benchmark::State& state) {
     (void)sim.run();
     benchmark::DoNotOptimize(delivered);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10'000);
 }
 BENCHMARK(BM_LinkPacketDelivery);
 

@@ -39,8 +39,10 @@ int main() {
     const auto& d = r.devices[i];
     table.add_row(
         {d.name, std::string(models::model_name(s.devices[i].model)),
-         fmt(d.series.find("Po_target")->mean_between(30 * kSecond, r.duration), 1),
-         fmt(d.series.find("Po_success")->mean_between(30 * kSecond, r.duration), 1),
+         fmt(d.series.find("Po_target")->mean_between(30 * kSecond,
+                                                      r.duration), 1),
+         fmt(d.series.find("Po_success")->mean_between(30 * kSecond,
+                                                       r.duration), 1),
          fmt(d.mean_throughput(), 2),
          std::to_string(d.totals.timeouts_load)});
   }

@@ -37,7 +37,8 @@ int main() {
 
   constexpr SimDuration kMeasureWindow = 120 * kSecond;
   for (const auto model : model_order) {
-    std::vector<std::string> row{std::string(models::model_name(model)) + " Pl"};
+    std::vector<std::string> row{std::string(models::model_name(model)) +
+                                 " Pl"};
     for (const auto& profile : models::all_devices()) {
       // Saturate the local engine: submit a frame the moment a slot opens.
       sim::Simulator sim(7);
@@ -52,7 +53,8 @@ int main() {
       });
       feeder.start(10 * kMillisecond);
       sim.run_until(kMeasureWindow);
-      const double rate = static_cast<double>(done) / sim_to_seconds(kMeasureWindow);
+      const double rate =
+          static_cast<double>(done) / sim_to_seconds(kMeasureWindow);
       row.push_back(fmt(rate, 1));
     }
     table.add_row(row);

@@ -22,7 +22,8 @@ int main() {
   std::cout << t3.render();
 
   std::cout << "\n--- SII-D quantified: accuracy vs offload bytes ---\n\n";
-  const models::ModelSpec& m = models::get_model(models::ModelId::kEfficientNetB4);
+  const models::ModelSpec& m =
+      models::get_model(models::ModelId::kEfficientNetB4);
   std::cout << "Model: " << m.name << " (variable input size)\n";
   TextTable sweep({"Capture", "JPEG q", "Bytes/frame", "Eff. accuracy",
                    "Mbps at 30 fps"});

@@ -41,13 +41,16 @@ int main(int argc, char** argv) {
   const auto spec =
       ff::models::get_model(scenario.devices[0].model);
   std::cout << "\nServer capacity at full batches: "
-            << ff::fmt(ff::models::gpu_throughput(spec, scenario.server.batch_limit), 0)
+            << ff::fmt(ff::models::gpu_throughput(spec,
+                                                  scenario.server.batch_limit),
+                                                      0)
             << " fps (" << spec.name << ", batch limit "
             << scenario.server.batch_limit << ")\n\nRunning...\n\n";
 
   const auto result = ff::core::run_experiment(
       scenario,
-      ff::core::make_controller_factory<ff::control::FrameFeedbackController>());
+      ff::core::make_controller_factory<
+          ff::control::FrameFeedbackController>());
 
   ff::core::print_summary(std::cout, result);
 

@@ -39,17 +39,22 @@ int main(int argc, char** argv) {
 
   const auto ff_run = run_with(
       scenario,
-      ff::core::make_controller_factory<ff::control::FrameFeedbackController>());
+      ff::core::make_controller_factory<
+          ff::control::FrameFeedbackController>());
   const auto local_run = run_with(
-      scenario, ff::core::make_controller_factory<ff::control::LocalOnlyController>());
+      scenario,
+      ff::core::make_controller_factory<ff::control::LocalOnlyController>());
   const auto always_run = run_with(
       scenario,
-      ff::core::make_controller_factory<ff::control::AlwaysOffloadController>());
+      ff::core::make_controller_factory<
+          ff::control::AlwaysOffloadController>());
   const auto interval_run = run_with(
       scenario,
-      ff::core::make_controller_factory<ff::control::IntervalOffloadController>());
+      ff::core::make_controller_factory<
+          ff::control::IntervalOffloadController>());
 
-  ff::core::plot_runs(std::cout, "Fig 3: total inference throughput P (device 0)",
+  ff::core::plot_runs(std::cout,
+                      "Fig 3: total inference throughput P (device 0)",
                       {&ff_run, &local_run, &always_run, &interval_run}, "P");
 
   std::vector<std::vector<ff::core::PhaseStat>> phase_stats;

@@ -13,7 +13,8 @@ int main(int argc, char** argv) {
   const ff::Config cfg = ff::Config::from_args(argc, argv);
 
   ff::core::Scenario scenario =
-      ff::core::Scenario::ideal(ff::seconds_to_sim(cfg.get_double("duration_s", 30.0)));
+      ff::core::Scenario::ideal(ff::seconds_to_sim(cfg.get_double("duration_s",
+                                                                  30.0)));
   scenario.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
   scenario.devices[0].source_fps = cfg.get_double("fps", 30.0);
 
@@ -25,11 +26,13 @@ int main(int argc, char** argv) {
             << ff::models::get_device(scenario.devices[0].profile)
                    .local_rate(scenario.devices[0].model)
             << " fps, deadline = "
-            << ff::sim_to_seconds(scenario.devices[0].deadline) * 1000 << " ms\n\n";
+            << ff::sim_to_seconds(scenario.devices[0].deadline) * 1000
+                << " ms\n\n";
 
   ff::core::ExperimentResult result = ff::core::run_experiment(
       scenario,
-      ff::core::make_controller_factory<ff::control::FrameFeedbackController>());
+      ff::core::make_controller_factory<
+          ff::control::FrameFeedbackController>());
 
   ff::core::print_summary(std::cout, result);
 

@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
 
   ff::core::Experiment experiment(
       scenario,
-      ff::core::make_controller_factory<ff::control::FrameFeedbackController>());
+      ff::core::make_controller_factory<
+          ff::control::FrameFeedbackController>());
 
   ff::rt::RealtimeOptions options;
   options.time_scale = speed;

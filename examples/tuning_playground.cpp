@@ -14,7 +14,8 @@
 
 namespace {
 
-std::vector<double> parse_list(const std::string& csv, std::vector<double> fallback) {
+std::vector<double> parse_list(const std::string& csv,
+                               std::vector<double> fallback) {
   if (csv.empty()) return fallback;
   std::vector<double> out;
   std::stringstream ss(csv);
@@ -57,7 +58,8 @@ int main(int argc, char** argv) {
     c.kd = grid[i].second;
     auto result = ff::core::run_experiment(
         scenario,
-        ff::core::make_controller_factory<ff::control::FrameFeedbackController>(c));
+        ff::core::make_controller_factory<
+            ff::control::FrameFeedbackController>(c));
     const auto& po = *result.devices[0].series.find("Po_target");
     Entry e;
     e.kp = c.kp;
@@ -74,7 +76,8 @@ int main(int argc, char** argv) {
                        "osc (lossy)", "steady Po (lossy)", "score"});
   for (const auto& e : entries) {
     table.add_row({ff::fmt(e.kp, 2), ff::fmt(e.kd, 2),
-                   ff::fmt(e.clean.rise_time_s, 1), ff::fmt(e.clean.overshoot, 2),
+                   ff::fmt(e.clean.rise_time_s, 1), ff::fmt(e.clean.overshoot,
+                                                            2),
                    ff::fmt(e.clean.steady_oscillation, 2),
                    ff::fmt(e.lossy.steady_oscillation, 2),
                    ff::fmt(e.lossy.steady_mean, 1), ff::fmt(e.score, 2)});

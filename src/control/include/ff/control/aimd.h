@@ -12,7 +12,8 @@ namespace ff::control {
 struct AimdConfig {
   double increase_fraction{0.05};   ///< additive step, as a fraction of Fs
   double decrease_factor{0.5};      ///< multiplicative back-off on timeouts
-  double timeout_tolerance_fraction{0.05};  ///< T below this (of Fs) counts as clean
+  /// T below this fraction of Fs counts as a clean (timeout-free) period.
+  double timeout_tolerance_fraction{0.05};
   double floor_fraction{0.03};      ///< keep probing at this fraction of Fs
   SimDuration measure_period{kSecond};
 };

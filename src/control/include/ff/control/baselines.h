@@ -20,7 +20,9 @@ class LocalOnlyController final : public Controller {
 /// Offloads every frame regardless of feedback (baseline 2).
 class AlwaysOffloadController final : public Controller {
  public:
-  [[nodiscard]] std::string_view name() const override { return "always-offload"; }
+  [[nodiscard]] std::string_view name() const override {
+    return "always-offload";
+  }
   [[nodiscard]] double update(const ControllerInput& input) override {
     return input.source_fps;
   }
@@ -34,8 +36,12 @@ class IntervalOffloadController final : public Controller {
   explicit IntervalOffloadController(SimDuration measure_period = kSecond)
       : measure_period_(measure_period) {}
 
-  [[nodiscard]] std::string_view name() const override { return "all-or-nothing"; }
-  [[nodiscard]] SimDuration measure_period() const override { return measure_period_; }
+  [[nodiscard]] std::string_view name() const override {
+    return "all-or-nothing";
+  }
+  [[nodiscard]] SimDuration measure_period() const override {
+    return measure_period_;
+  }
   [[nodiscard]] bool wants_probe() const override { return true; }
 
   [[nodiscard]] double update(const ControllerInput& input) override {

@@ -17,10 +17,12 @@ struct ControllerInput {
   SimTime now{0};
   double source_fps{30.0};      ///< Fs
   double offload_rate{0.0};     ///< current Po target (what we asked for)
-  double timeout_rate{0.0};     ///< T: offloads that missed the deadline or failed
+  /// T: offloads that missed the deadline or failed, per second.
+  double timeout_rate{0.0};
   double network_timeout_rate{0.0};  ///< Tn component of T
   double load_timeout_rate{0.0};     ///< Tl component of T
-  double offload_success_rate{0.0};  ///< offload results within deadline, per second
+  /// Offload results that arrived within the deadline, per second.
+  double offload_success_rate{0.0};
   double local_rate{0.0};       ///< Pl achieved
   int frame_quality{85};        ///< JPEG quality currently used for offloads
   /// Result of the most recent heartbeat probe, when the controller asked

@@ -39,7 +39,9 @@ class FrameFeedbackController final : public Controller {
  public:
   explicit FrameFeedbackController(FrameFeedbackConfig config = {});
 
-  [[nodiscard]] std::string_view name() const override { return "frame-feedback"; }
+  [[nodiscard]] std::string_view name() const override {
+    return "frame-feedback";
+  }
   [[nodiscard]] SimDuration measure_period() const override {
     return config_.measure_period;
   }

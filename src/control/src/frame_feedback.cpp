@@ -28,12 +28,9 @@ double FrameFeedbackController::update(const ControllerInput& input) {
 
   // Piecewise error (Eq. 5). Note it is computed from the *commanded* Po,
   // matching the paper: the controller regulates its own target.
-  double error;
-  if (t <= config_.timeout_epsilon) {
-    error = fs - offload_rate_;
-  } else {
-    error = config_.timeout_setpoint_fraction * fs - t;
-  }
+  const double error = (t <= config_.timeout_epsilon)
+                           ? fs - offload_rate_
+                           : config_.timeout_setpoint_fraction * fs - t;
   last_error_ = error;
 
   // dt in measurement periods: the discrete controller treats one tick as

@@ -50,7 +50,8 @@ double tuning_score(const ResponseMetrics& metrics) {
 }
 
 std::vector<std::pair<double, double>> gain_grid(const std::vector<double>& kps,
-                                                 const std::vector<double>& kds) {
+                                                 const std::vector<double>&
+                                                     kds) {
   std::vector<std::pair<double, double>> grid;
   grid.reserve(kps.size() * kds.size());
   for (const double kp : kps) {

@@ -27,7 +27,8 @@ namespace ff::core {
 /// Produces a fresh controller per device; called once per device at
 /// experiment construction.
 using ControllerFactory =
-    std::function<std::unique_ptr<control::Controller>(std::size_t device_index)>;
+    std::function<std::unique_ptr<control::Controller>(
+        std::size_t device_index)>;
 
 /// Convenience: same controller type with the same settings everywhere.
 template <class C, class... Args>
@@ -94,7 +95,9 @@ class Experiment {
   /// custom instrumentation.
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
   [[nodiscard]] server::EdgeServer& server() { return *server_; }
-  [[nodiscard]] device::EdgeDevice& device(std::size_t i) { return *rigs_.at(i)->device; }
+  [[nodiscard]] device::EdgeDevice& device(std::size_t i) {
+    return *rigs_.at(i)->device;
+  }
   [[nodiscard]] control::Controller& controller(std::size_t i) {
     return *rigs_.at(i)->controller;
   }

@@ -7,7 +7,8 @@
 //   auto scenario = ff::core::Scenario::paper_network();
 //   auto result = ff::core::run_experiment(
 //       scenario,
-//       ff::core::make_controller_factory<ff::control::FrameFeedbackController>());
+//       ff::core::make_controller_factory<
+//           ff::control::FrameFeedbackController>());
 
 #include "ff/control/aimd.h"
 #include "ff/control/baselines.h"

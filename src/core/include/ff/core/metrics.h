@@ -26,16 +26,14 @@ struct PhaseStat {
 /// Mean of `series` within each phase of a network schedule. `end` bounds
 /// the final phase. `settle` trims this many microseconds from the start
 /// of each phase (controller reaction time).
-[[nodiscard]] std::vector<PhaseStat> phase_means(const TimeSeries& series,
-                                                 const net::NetemSchedule& schedule,
-                                                 SimTime end,
-                                                 SimDuration settle = 3 * kSecond);
+[[nodiscard]] std::vector<PhaseStat> phase_means(
+    const TimeSeries& series, const net::NetemSchedule& schedule, SimTime end,
+    SimDuration settle = 3 * kSecond);
 
 /// Mean of `series` within each phase of a load schedule.
-[[nodiscard]] std::vector<PhaseStat> phase_means(const TimeSeries& series,
-                                                 const server::LoadSchedule& schedule,
-                                                 SimTime end,
-                                                 SimDuration settle = 3 * kSecond);
+[[nodiscard]] std::vector<PhaseStat> phase_means(
+    const TimeSeries& series, const server::LoadSchedule& schedule,
+    SimTime end, SimDuration settle = 3 * kSecond);
 
 /// QoS roll-up for one device run.
 struct QosSummary {

@@ -19,7 +19,8 @@ void print_summary(std::ostream& os, const ExperimentResult& result);
 /// per named run, using each run's device 0 "P" series.
 void print_phase_comparison(std::ostream& os,
                             const std::vector<std::string>& run_names,
-                            const std::vector<std::vector<PhaseStat>>& phase_stats);
+                            const std::vector<std::vector<PhaseStat>>&
+                                phase_stats);
 
 /// Plots one named series from device `device_index` of several runs on a
 /// shared axis (the figure reproductions).

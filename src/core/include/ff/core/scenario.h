@@ -65,7 +65,8 @@ struct Scenario {
   /// Heterogeneous multi-tenancy: the three Pis run different models
   /// (MobileNetV3Small / Large, EfficientNetB0), exercising the per-model
   /// batch queues ("we hit both model types", §IV-C.2).
-  [[nodiscard]] static Scenario mixed_models(SimDuration duration = 60 * kSecond);
+  [[nodiscard]] static Scenario mixed_models(
+      SimDuration duration = 60 * kSecond);
 
   /// A quiet single-device scenario for quickstarts and tests.
   [[nodiscard]] static Scenario ideal(SimDuration duration = 30 * kSecond);

@@ -81,7 +81,8 @@ void Experiment::build() {
         std::make_unique<device::EdgeDevice>(*sim_, *rig->transport, dconf);
     rig->controller = factory_(i);
     if (!rig->controller) {
-      throw std::invalid_argument("Experiment: controller factory returned null");
+      throw std::invalid_argument(
+          "Experiment: controller factory returned null");
     }
 
     DeviceRig* raw = rig.get();
@@ -195,7 +196,8 @@ ExperimentResult Experiment::run() {
   return result;
 }
 
-ExperimentResult run_experiment(Scenario scenario, ControllerFactory controllers) {
+ExperimentResult run_experiment(Scenario scenario,
+                                ControllerFactory controllers) {
   Experiment e(std::move(scenario), std::move(controllers));
   return e.run();
 }

@@ -45,9 +45,10 @@ std::vector<PhaseStat> phase_means(const TimeSeries& series,
     const SimTime from = phases[i].start;
     const SimTime to = i + 1 < phases.size() ? phases[i + 1].start : end;
     if (to <= from) continue;
-    out.push_back(make_phase_stat(
-        series, std::to_string(static_cast<int>(phases[i].rate.per_second)) + " req/s",
-        from, to, settle));
+    const std::string label =
+        std::to_string(static_cast<int>(phases[i].rate.per_second)) +
+        " req/s";
+    out.push_back(make_phase_stat(series, label, from, to, settle));
   }
   return out;
 }

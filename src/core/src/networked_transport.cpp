@@ -26,7 +26,8 @@ NetworkedOffloadTransport::NetworkedOffloadTransport(
     req.client_id = config_.client_id;
     req.model = config_.model;
     req.payload = payload;
-    server_.submit(std::move(req), [this](const server::RequestOutcome& outcome) {
+    server_.submit(std::move(req),
+                   [this](const server::RequestOutcome& outcome) {
       const bool rejected =
           outcome.status == server::RequestStatus::kRejected;
       const std::uint64_t response_id =

@@ -19,7 +19,8 @@ void print_summary(std::ostream& os, const ExperimentResult& result) {
             ? "-"
             : fmt(d.offload.latency_p50.value() / 1000.0, 0) + "/" +
                   fmt(d.offload.latency_p95.value() / 1000.0, 0);
-    table.add_row({d.name, d.controller, std::to_string(d.totals.frames_captured),
+    table.add_row({d.name, d.controller,
+                   std::to_string(d.totals.frames_captured),
                    fmt(q.mean_throughput, 2), fmt(q.goodput_fraction * 100, 1),
                    std::to_string(d.totals.offload_attempts),
                    std::to_string(d.totals.timeouts_network) + "/" +
@@ -36,7 +37,8 @@ void print_summary(std::ostream& os, const ExperimentResult& result) {
 
 void print_phase_comparison(std::ostream& os,
                             const std::vector<std::string>& run_names,
-                            const std::vector<std::vector<PhaseStat>>& phase_stats) {
+                            const std::vector<std::vector<PhaseStat>>&
+                                phase_stats) {
   if (phase_stats.empty()) return;
   std::vector<std::string> headers{"phase", "window (s)"};
   headers.insert(headers.end(), run_names.begin(), run_names.end());

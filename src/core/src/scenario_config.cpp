@@ -48,7 +48,8 @@ Scenario scenario_from_config(const Config& config) {
   if (config.has("duration_s")) {
     s.duration = seconds_to_sim(config.get_double("duration_s", 0));
   }
-  s.shared_uplink_medium = config.get_bool("shared_medium", s.shared_uplink_medium);
+  s.shared_uplink_medium = config.get_bool("shared_medium",
+                                           s.shared_uplink_medium);
 
   // Device overrides apply to every device; `devices` replicates the
   // first device to the requested count.
@@ -72,23 +73,30 @@ Scenario scenario_from_config(const Config& config) {
     }
     d.source_fps = config.get_double("device.fps", d.source_fps);
     if (config.has("device.deadline_ms")) {
-      d.deadline = seconds_to_sim(config.get_double("device.deadline_ms", 250) / 1000.0);
+      d.deadline = seconds_to_sim(config.get_double("device.deadline_ms",
+                                                    250) / 1000.0);
     }
     d.frame_limit = static_cast<std::uint64_t>(
-        config.get_int("device.frame_limit", static_cast<std::int64_t>(d.frame_limit)));
-    d.frame.width = static_cast<int>(config.get_int("device.width", d.frame.width));
-    d.frame.height = static_cast<int>(config.get_int("device.height", d.frame.height));
+        config.get_int("device.frame_limit",
+                       static_cast<std::int64_t>(d.frame_limit)));
+    d.frame.width = static_cast<int>(config.get_int("device.width",
+                                                    d.frame.width));
+    d.frame.height = static_cast<int>(config.get_int("device.height",
+                                                     d.frame.height));
     d.frame.jpeg_quality =
-        static_cast<int>(config.get_int("device.quality", d.frame.jpeg_quality));
+        static_cast<int>(config.get_int("device.quality",
+                                        d.frame.jpeg_quality));
   }
 
   // Constant network override.
   if (config.has("net.bandwidth_mbps") || config.has("net.loss") ||
       config.has("net.delay_ms")) {
     net::LinkConditions c;
-    c.bandwidth = Bandwidth::mbps(config.get_double("net.bandwidth_mbps", 10.0));
+    c.bandwidth = Bandwidth::mbps(config.get_double("net.bandwidth_mbps",
+                                                    10.0));
     c.loss_probability = config.get_double("net.loss", 0.0);
-    c.propagation_delay = seconds_to_sim(config.get_double("net.delay_ms", 2.0) / 1000.0);
+    c.propagation_delay = seconds_to_sim(config.get_double("net.delay_ms",
+                                                           2.0) / 1000.0);
     s.network = net::NetemSchedule::constant(c);
     s.uplink_template.initial = c;
     s.downlink_template.initial = c;
@@ -96,7 +104,8 @@ Scenario scenario_from_config(const Config& config) {
 
   if (config.has("load.rate")) {
     s.background_load =
-        server::LoadSchedule::constant(Rate{config.get_double("load.rate", 0.0)});
+        server::LoadSchedule::constant(Rate{config.get_double("load.rate",
+                                                              0.0)});
     s.background.payload = models::frame_bytes({});
   }
 

@@ -56,7 +56,9 @@ class EdgeDevice {
 
   /// Sets the offload-rate target Po (frames/s), as decided by a controller.
   void set_offload_rate(double rate);
-  [[nodiscard]] double offload_rate() const { return dispatcher_.offload_rate(); }
+  [[nodiscard]] double offload_rate() const {
+    return dispatcher_.offload_rate();
+  }
 
   /// Changes the JPEG quality used for subsequently offloaded frames
   /// (quality-adapting controllers); recomputes the per-frame payload.
@@ -89,7 +91,9 @@ class EdgeDevice {
   [[nodiscard]] const DeviceConfig& config() const { return config_; }
   [[nodiscard]] const OffloadClient& offload_client() const { return offload_; }
   [[nodiscard]] const LocalEngine& local_engine() const { return local_; }
-  [[nodiscard]] std::uint64_t frames_captured() const { return source_.frames_emitted(); }
+  [[nodiscard]] std::uint64_t frames_captured() const {
+    return source_.frames_emitted();
+  }
   [[nodiscard]] bool finished() const {
     return config_.frame_limit > 0 &&
            source_.frames_emitted() >= config_.frame_limit;

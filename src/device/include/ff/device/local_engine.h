@@ -35,7 +35,9 @@ class LocalEngine {
 
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
   [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
-  [[nodiscard]] std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+  [[nodiscard]] std::size_t queue_depth() const {
+    return queue_.size() + (busy_ ? 1 : 0);
+  }
   [[nodiscard]] bool busy() const { return busy_; }
 
   /// Cumulative busy time (inference executing), for CPU-utilization

@@ -59,7 +59,8 @@ class OffloadClient {
 
   /// Ships a frame captured at `capture_time`; the deadline clock started
   /// at capture.
-  void offload_frame(std::uint64_t frame_id, SimTime capture_time, Bytes payload);
+  void offload_frame(std::uint64_t frame_id, SimTime capture_time,
+                     Bytes payload);
 
   /// Sends a heartbeat probe (same path as a frame, same deadline);
   /// `on_done(success)` fires exactly once. Probe outcomes do not touch
@@ -67,7 +68,9 @@ class OffloadClient {
   void send_probe(std::uint64_t probe_id, Bytes payload, ProbeFn on_done);
 
   [[nodiscard]] const OffloadClientStats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t in_flight() const { return pending_.size() + probes_.size(); }
+  [[nodiscard]] std::size_t in_flight() const {
+    return pending_.size() + probes_.size();
+  }
   [[nodiscard]] const OffloadClientConfig& config() const { return config_; }
 
   /// Attaches a trace sink for offload lifecycle events (nullptr

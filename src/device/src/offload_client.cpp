@@ -13,7 +13,8 @@ OffloadClient::OffloadClient(sim::Simulator& sim, OffloadTransport& transport,
       telemetry_(telemetry),
       config_(std::move(config)) {
   transport_.set_on_response(
-      [this](std::uint64_t id, bool rejected) { handle_response(id, rejected); });
+      [this](std::uint64_t id, bool rejected) { handle_response(id,
+                                                                rejected); });
   transport_.set_on_failure([this](std::uint64_t id) { handle_failure(id); });
 }
 

@@ -19,7 +19,8 @@ struct FrameSpec {
   int height{256};
   int jpeg_quality{85};  ///< 1..100
 
-  friend constexpr bool operator==(const FrameSpec&, const FrameSpec&) = default;
+  friend constexpr bool operator==(const FrameSpec&,
+                                   const FrameSpec&) = default;
 };
 
 /// Size of the inference result payload returned by the server (class ids

@@ -45,7 +45,8 @@ DeviceId parse_device(std::string_view name) {
   for (const auto& d : kDevices) {
     if (d.name == name) return d.id;
   }
-  throw std::invalid_argument("parse_device: unknown device '" + std::string(name) + "'");
+  throw std::invalid_argument("parse_device: unknown device '" +
+                              std::string(name) + "'");
 }
 
 double device_cpu_utilization(double local_busy, double offload_fraction) {

@@ -24,7 +24,7 @@ double effective_accuracy(const ModelSpec& model, const FrameSpec& spec) {
   // relative) above native where the model supports variable input.
   const double side = std::min(spec.width, spec.height);
   const double ratio = side / static_cast<double>(model.native_resolution);
-  double resolution_factor;
+  double resolution_factor = 1.0;
   if (ratio >= 1.0) {
     resolution_factor = std::min(1.0 + 0.015 * std::log2(ratio), 1.03);
   } else {
@@ -37,7 +37,8 @@ double effective_accuracy(const ModelSpec& model, const FrameSpec& spec) {
   double compression_factor = 1.0;
   if (q < 0.6) compression_factor = std::max(1.0 - 0.45 * (0.6 - q) / 0.6, 0.4);
 
-  return std::clamp(model.top1_accuracy * resolution_factor * compression_factor,
+  return std::clamp(model.top1_accuracy * resolution_factor *
+                        compression_factor,
                     0.0, 1.0);
 }
 

@@ -37,7 +37,8 @@ SimDuration GpuBatchLatencyModel::mean(int batch_size) const {
 SimDuration GpuBatchLatencyModel::sample(int batch_size) {
   const SimDuration m = mean(batch_size);
   if (sigma_ <= 0.0) return m;
-  const double median = static_cast<double>(m) / std::exp(sigma_ * sigma_ / 2.0);
+  const double median =
+      static_cast<double>(m) / std::exp(sigma_ * sigma_ / 2.0);
   const double v = rng_.lognormal(median, sigma_);
   return std::max<SimDuration>(static_cast<SimDuration>(v), 1);
 }

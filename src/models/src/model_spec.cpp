@@ -10,8 +10,10 @@ constexpr std::array<ModelSpec, 4> kModels{{
     // Accuracies from paper Table III; resolutions from §II-D.
     {ModelId::kEfficientNetB0, "efficientnet_b0", 0.771, 224, 30.0, 7.0, 5.2},
     {ModelId::kEfficientNetB4, "efficientnet_b4", 0.829, 380, 50.0, 20.0, 30.0},
-    {ModelId::kMobileNetV3Small, "mobilenet_v3_small", 0.674, 224, 25.0, 4.5, 1.0},
-    {ModelId::kMobileNetV3Large, "mobilenet_v3_large", 0.752, 224, 28.0, 6.0, 2.6},
+    {ModelId::kMobileNetV3Small, "mobilenet_v3_small", 0.674, 224, 25.0, 4.5,
+     1.0},
+    {ModelId::kMobileNetV3Large, "mobilenet_v3_large", 0.752, 224, 28.0, 6.0,
+     2.6},
 }};
 
 }  // namespace
@@ -29,7 +31,8 @@ ModelId parse_model(std::string_view name) {
   for (const auto& m : kModels) {
     if (m.name == name) return m.id;
   }
-  throw std::invalid_argument("parse_model: unknown model '" + std::string(name) + "'");
+  throw std::invalid_argument("parse_model: unknown model '" +
+                              std::string(name) + "'");
 }
 
 std::string_view model_name(ModelId id) { return get_model(id).name; }

@@ -60,10 +60,12 @@ class LogNormalDelay final : public DelayModel {
   double sigma_;
 };
 
-[[nodiscard]] std::unique_ptr<DelayModel> make_constant_delay(SimDuration delay);
+[[nodiscard]] std::unique_ptr<DelayModel> make_constant_delay(
+    SimDuration delay);
 [[nodiscard]] std::unique_ptr<DelayModel> make_normal_delay(SimDuration mean,
                                                             SimDuration jitter);
-[[nodiscard]] std::unique_ptr<DelayModel> make_lognormal_delay(SimDuration median,
+[[nodiscard]] std::unique_ptr<DelayModel> make_lognormal_delay(
+    SimDuration median,
                                                                double sigma);
 
 }  // namespace ff::net

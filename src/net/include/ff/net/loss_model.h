@@ -53,8 +53,10 @@ class GilbertElliottLoss final : public LossModel {
   bool bad_{false};
 };
 
-[[nodiscard]] std::unique_ptr<LossModel> make_bernoulli_loss(double probability);
+[[nodiscard]] std::unique_ptr<LossModel> make_bernoulli_loss(
+    double probability);
 [[nodiscard]] std::unique_ptr<LossModel> make_gilbert_elliott_loss(
-    double p_good_to_bad, double p_bad_to_good, double loss_good, double loss_bad);
+    double p_good_to_bad, double p_bad_to_good, double loss_good,
+        double loss_bad);
 
 }  // namespace ff::net

@@ -28,7 +28,9 @@ class NetemSchedule {
   NetemSchedule& add(SimTime start, LinkConditions conditions,
                      std::string label = "");
 
-  [[nodiscard]] const std::vector<NetemPhase>& phases() const { return phases_; }
+  [[nodiscard]] const std::vector<NetemPhase>& phases() const {
+    return phases_;
+  }
   [[nodiscard]] bool empty() const { return phases_.empty(); }
 
   /// Conditions in force at time `t` (first phase's conditions before it

@@ -29,7 +29,7 @@ struct TransportConfig {
   /// without backoff, retransmissions of still-live messages can exceed
   /// link capacity and keep it collapsed after conditions recover.
   int rto_backoff_cap{5};
-  int max_retries{8};                        ///< per fragment, before the message fails
+  int max_retries{8};  ///< per fragment, before the message fails
   SimDuration reassembly_timeout{3 * kSecond};
   std::size_t completed_history{4096};       ///< dedupe window at the receiver
 };

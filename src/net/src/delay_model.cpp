@@ -5,14 +5,16 @@
 
 namespace ff::net {
 
-ConstantDelay::ConstantDelay(SimDuration delay) : delay_(std::max<SimDuration>(delay, 0)) {}
+ConstantDelay::ConstantDelay(SimDuration delay)
+    : delay_(std::max<SimDuration>(delay, 0)) {}
 
 NormalDelay::NormalDelay(SimDuration mean, SimDuration jitter_stddev)
     : mean_(std::max<SimDuration>(mean, 0)),
       stddev_(std::max<SimDuration>(jitter_stddev, 0)) {}
 
 SimDuration NormalDelay::sample(Rng& rng) {
-  const double v = rng.normal(static_cast<double>(mean_), static_cast<double>(stddev_));
+  const double v = rng.normal(static_cast<double>(mean_),
+                              static_cast<double>(stddev_));
   return std::max<SimDuration>(static_cast<SimDuration>(v), 0);
 }
 
@@ -26,7 +28,8 @@ SimDuration LogNormalDelay::sample(Rng& rng) {
 
 SimDuration LogNormalDelay::mean() const {
   // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) with median = exp(mu).
-  const double m = static_cast<double>(median_) * std::exp(sigma_ * sigma_ / 2.0);
+  const double m =
+      static_cast<double>(median_) * std::exp(sigma_ * sigma_ / 2.0);
   return static_cast<SimDuration>(m);
 }
 
@@ -34,11 +37,13 @@ std::unique_ptr<DelayModel> make_constant_delay(SimDuration delay) {
   return std::make_unique<ConstantDelay>(delay);
 }
 
-std::unique_ptr<DelayModel> make_normal_delay(SimDuration mean, SimDuration jitter) {
+std::unique_ptr<DelayModel> make_normal_delay(SimDuration mean,
+                                              SimDuration jitter) {
   return std::make_unique<NormalDelay>(mean, jitter);
 }
 
-std::unique_ptr<DelayModel> make_lognormal_delay(SimDuration median, double sigma) {
+std::unique_ptr<DelayModel> make_lognormal_delay(SimDuration median,
+                                                 double sigma) {
   return std::make_unique<LogNormalDelay>(median, sigma);
 }
 

@@ -113,7 +113,8 @@ void Link::serve_front() {
         queued_data_.find(FlowMessageKey{packet.flow_id, packet.message_id});
     if (it != queued_data_.end() && --it->second == 0) queued_data_.erase(it);
   }
-  stats_.queueing_delay_us.add(static_cast<double>(sim_.now() - packet.enqueued_at));
+  stats_.queueing_delay_us.add(
+      static_cast<double>(sim_.now() - packet.enqueued_at));
 
   const SimDuration ser = conditions_.bandwidth.serialization_time(packet.size);
   sim_.schedule_in(ser, [this, packet] {

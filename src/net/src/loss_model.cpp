@@ -14,7 +14,8 @@ void BernoulliLoss::set_probability(double p) {
   probability_ = std::clamp(p, 0.0, 1.0);
 }
 
-GilbertElliottLoss::GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good,
+GilbertElliottLoss::GilbertElliottLoss(double p_good_to_bad,
+                                       double p_bad_to_good,
                                        double loss_good, double loss_bad)
     : p_gb_(std::clamp(p_good_to_bad, 0.0, 1.0)),
       p_bg_(std::clamp(p_bad_to_good, 0.0, 1.0)),

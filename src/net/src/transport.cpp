@@ -25,8 +25,8 @@ void ReliableChannel::send(std::uint64_t message_id, Bytes payload) {
   OutMessage m;
   m.payload = payload;
   const std::int64_t mtu = std::max<std::int64_t>(config_.mtu_payload, 1);
-  m.fragment_count =
-      static_cast<std::uint32_t>(std::max<std::int64_t>((payload.count + mtu - 1) / mtu, 1));
+  m.fragment_count = static_cast<std::uint32_t>(
+      std::max<std::int64_t>((payload.count + mtu - 1) / mtu, 1));
   m.acked.assign(m.fragment_count, false);
   m.retries.assign(m.fragment_count, 0);
   const std::uint32_t count = m.fragment_count;
@@ -158,7 +158,9 @@ void ReliableChannel::handle_data(const Packet& packet) {
   }
   m.received[packet.fragment_index] = true;
   ++m.received_count;
-  m.payload = m.payload + Bytes{std::max<std::int64_t>(packet.size.count - kHeaderBytes, 0)};
+  m.payload =
+      m.payload +
+      Bytes{std::max<std::int64_t>(packet.size.count - kHeaderBytes, 0)};
 
   if (m.received_count == m.fragment_count) {
     const Bytes payload = m.payload;

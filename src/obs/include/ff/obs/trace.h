@@ -26,11 +26,14 @@ namespace ev {
 inline constexpr std::string_view kFrameCaptured = "frame.captured";
 inline constexpr std::string_view kFrameRoutedLocal = "frame.routed_local";
 inline constexpr std::string_view kFrameRoutedOffload = "frame.routed_offload";
-inline constexpr std::string_view kFrameLocalCompleted = "frame.local_completed";
+inline constexpr std::string_view kFrameLocalCompleted =
+    "frame.local_completed";
 inline constexpr std::string_view kFrameLocalDropped = "frame.local_dropped";
 inline constexpr std::string_view kFrameOffloadSent = "frame.offload_sent";
-inline constexpr std::string_view kFrameOffloadSuccess = "frame.offload_success";
-inline constexpr std::string_view kFrameTimeoutNetwork = "frame.timeout_network";
+inline constexpr std::string_view kFrameOffloadSuccess =
+    "frame.offload_success";
+inline constexpr std::string_view kFrameTimeoutNetwork =
+    "frame.timeout_network";
 inline constexpr std::string_view kFrameTimeoutLoad = "frame.timeout_load";
 // Transport / link events.
 inline constexpr std::string_view kNetRetransmit = "net.retransmit";

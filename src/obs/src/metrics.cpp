@@ -45,7 +45,8 @@ void write_number(std::ostream& os, double v) {
 /// Lookup key: name plus labels in given order. Label order is part of
 /// the identity, which callers get right for free because call sites are
 /// static.
-[[nodiscard]] std::string make_key(std::string_view name, const Labels& labels) {
+[[nodiscard]] std::string make_key(std::string_view name,
+                                   const Labels& labels) {
   std::string key(name);
   for (const auto& [k, v] : labels) {
     key += '|';

@@ -7,6 +7,8 @@ namespace ff::rt {
 
 std::uint64_t run_realtime(sim::Simulator& sim, const RealtimeOptions& options,
                            const std::atomic<bool>* stop) {
+  // ff-lint: allow(wall-clock) realtime pacing must read wall time; sim
+  // results stay deterministic because pacing never reorders events
   using Clock = std::chrono::steady_clock;
   const auto wall_start = Clock::now();
   const SimTime sim_start = sim.now();

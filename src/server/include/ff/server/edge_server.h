@@ -10,7 +10,6 @@
 #include <deque>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "ff/models/latency_model.h"

@@ -34,7 +34,8 @@ void EdgeServer::submit(InferenceRequest request, CompletionFn on_complete) {
     reject(PendingRequest{std::move(request), std::move(on_complete)});
     return;
   }
-  q.pending.push_back(PendingRequest{std::move(request), std::move(on_complete)});
+  q.pending.push_back(PendingRequest{std::move(request),
+                                     std::move(on_complete)});
   maybe_start_batch();
 }
 
@@ -115,7 +116,8 @@ void EdgeServer::start_batch(ModelQueue& queue) {
                     .with("exec_us", static_cast<double>(exec))
                     .with("queued", static_cast<double>(queue.pending.size())));
   }
-  sim_.schedule_in(exec, [this, batch = std::move(batch), started_at]() mutable {
+  sim_.schedule_in(exec, [this, batch = std::move(batch),
+                          started_at]() mutable {
     finish_batch(std::move(batch), started_at);
   });
 }
@@ -137,12 +139,14 @@ void EdgeServer::finish_batch(std::vector<PendingRequest> batch,
     outcome.status = RequestStatus::kCompleted;
     outcome.finished_at = sim_.now();
     outcome.batch_size = batch_size;
-    stats_.service_latency_us.add(static_cast<double>(outcome.service_latency()));
+    stats_.service_latency_us.add(
+        static_cast<double>(outcome.service_latency()));
     if (sink_) {
       sink_->emit(obs::TraceEvent(sim_.now(), obs::ev::kServerComplete,
                                   config_.name)
                       .with_id(outcome.request.request_id)
-                      .with("client", static_cast<double>(outcome.request.client_id))
+                      .with("client",
+                            static_cast<double>(outcome.request.client_id))
                       .with("service_us",
                             static_cast<double>(outcome.service_latency())));
     }
@@ -163,7 +167,8 @@ void EdgeServer::reject(PendingRequest&& pending) {
     sink_->emit(obs::TraceEvent(sim_.now(), obs::ev::kServerReject,
                                 config_.name)
                     .with_id(outcome.request.request_id)
-                    .with("client", static_cast<double>(outcome.request.client_id)));
+                    .with("client",
+                          static_cast<double>(outcome.request.client_id)));
   }
   if (pending.on_complete) pending.on_complete(outcome);
 }

@@ -155,7 +155,8 @@ class EventQueue {
   // 2^40 sequences is ~32 hours of simulated dispatch at 10M events/s;
   // push_entry() asserts on overflow.
   static constexpr std::uint64_t kSlotBits = 24;
-  static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
+  static constexpr std::uint64_t kSlotMask = (std::uint64_t{1}
+      << kSlotBits) - 1;
   static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFF;
   static constexpr std::uint64_t kFreeSequence = ~std::uint64_t{0};
   static constexpr std::uint32_t kChunkShift = 9;  ///< 512 slots, ~48KB

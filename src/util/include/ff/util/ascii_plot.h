@@ -22,14 +22,16 @@ struct PlotOptions {
 
 /// Renders one or more series on a shared axis; each series gets its own
 /// glyph. Series are resampled onto the column grid by bucket-mean.
-[[nodiscard]] std::string plot_series(const std::vector<const TimeSeries*>& series,
+[[nodiscard]] std::string plot_series(
+    const std::vector<const TimeSeries*>& series,
                                       const PlotOptions& options);
 
 [[nodiscard]] std::string plot_series(const TimeSeries& series,
                                       const PlotOptions& options);
 
 /// One-line sparkline of a series (8-level unicode blocks).
-[[nodiscard]] std::string sparkline(const TimeSeries& series, std::size_t width = 80);
+[[nodiscard]] std::string sparkline(const TimeSeries& series,
+                                    std::size_t width = 80);
 
 /// Fixed-width table printer used by the paper-table benches.
 class TextTable {

@@ -30,7 +30,8 @@ class Config {
 
   [[nodiscard]] std::string get_string(const std::string& key,
                                        const std::string& fallback) const;
-  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;

@@ -48,7 +48,9 @@ class LogHistogram {
   void add(double x);
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
-  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_.at(i);
+  }
   [[nodiscard]] double bucket_lo(std::size_t i) const;
   [[nodiscard]] double quantile(double q) const;
 

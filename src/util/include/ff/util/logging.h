@@ -20,7 +20,8 @@ class Logger {
   [[nodiscard]] LogLevel level() const { return level_; }
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
 
-  void write(LogLevel level, std::string_view component, std::string_view message);
+  void write(LogLevel level, std::string_view component,
+             std::string_view message);
 
  private:
   Logger() = default;

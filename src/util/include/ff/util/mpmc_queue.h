@@ -25,14 +25,19 @@ class MpmcQueue {
     return true;
   }
 
-  /// Non-blocking push; returns false when full or closed.
-  [[nodiscard]] bool try_push(T value) {
+  /// Non-blocking push; returns false when full or closed. Rvalue-reference
+  /// parameter (not by-value) so a failed push does not consume the
+  /// caller's object -- retry loops over move-only types depend on it.
+  [[nodiscard]] bool try_push(T&& value) {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (closed_ || queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(value));
     not_empty_.notify_one();
     return true;
   }
+
+  /// Copying overload for lvalues of copyable T.
+  [[nodiscard]] bool try_push(const T& value) { return try_push(T(value)); }
 
   /// Blocks while empty; empty optional means closed-and-drained.
   std::optional<T> pop() {

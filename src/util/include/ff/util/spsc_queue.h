@@ -19,7 +19,9 @@ inline constexpr std::size_t kCacheLine = 64;
 template <class T>
 class SpscQueue {
  public:
-  /// Capacity is rounded up to a power of two; usable slots = capacity.
+  /// Storage is rounded up to a power of two with one slot reserved to
+  /// distinguish full from empty, so at least `capacity` slots are usable
+  /// (possibly more after rounding).
   explicit SpscQueue(std::size_t capacity) {
     std::size_t cap = 2;
     while (cap < capacity + 1) cap <<= 1;
@@ -27,8 +29,12 @@ class SpscQueue {
     mask_ = cap - 1;
   }
 
-  /// Producer side. Returns false when full.
-  [[nodiscard]] bool try_push(T value) {
+  /// Producer side. Returns false when full. Takes an rvalue reference
+  /// rather than a by-value parameter so a *failed* push leaves the
+  /// caller's object intact -- with by-value, retry loops like
+  /// `while (!q.try_push(std::move(t)))` would silently consume `t` on the
+  /// first full queue and then push a moved-from husk.
+  [[nodiscard]] bool try_push(T&& value) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t next = (head + 1) & mask_;
     if (next == tail_.load(std::memory_order_acquire)) return false;
@@ -36,6 +42,9 @@ class SpscQueue {
     head_.store(next, std::memory_order_release);
     return true;
   }
+
+  /// Copying overload for lvalues of copyable T.
+  [[nodiscard]] bool try_push(const T& value) { return try_push(T(value)); }
 
   /// Consumer side. Empty optional when the queue is empty.
   [[nodiscard]] std::optional<T> try_pop() {
@@ -46,11 +55,15 @@ class SpscQueue {
     return value;
   }
 
-  /// Approximate (racy) size; exact when called from the consumer with a
-  /// quiescent producer.
+  /// Approximate (racy) size; exact when the queue is quiescent. Reads
+  /// tail before head: if head were read first and the consumer advanced
+  /// tail past that snapshot before the second load, the masked
+  /// subtraction would wrap and report a near-full queue that is actually
+  /// near-empty. With this order concurrent progress can only overcount,
+  /// never wrap negative.
   [[nodiscard]] std::size_t size_approx() const {
-    const std::size_t head = head_.load(std::memory_order_acquire);
     const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
     return (head - tail) & mask_;
   }
 

@@ -25,7 +25,9 @@ class StreamingStats {
   [[nodiscard]] double stddev() const;
   [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
   [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
-  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+  [[nodiscard]] double sum() const {
+    return mean_ * static_cast<double>(count_);
+  }
 
  private:
   std::size_t count_{0};

@@ -31,7 +31,9 @@ class TimeSeries {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t size() const { return points_.size(); }
   [[nodiscard]] bool empty() const { return points_.empty(); }
-  [[nodiscard]] const TimePoint& at(std::size_t i) const { return points_.at(i); }
+  [[nodiscard]] const TimePoint& at(std::size_t i) const {
+    return points_.at(i);
+  }
   [[nodiscard]] const std::vector<TimePoint>& points() const { return points_; }
   [[nodiscard]] auto begin() const { return points_.begin(); }
   [[nodiscard]] auto end() const { return points_.end(); }

@@ -25,7 +25,8 @@ inline constexpr SimDuration kSecond = 1'000'000;
 
 /// Converts a chrono duration to simulated microseconds.
 template <class Rep, class Period>
-[[nodiscard]] constexpr SimDuration to_sim(std::chrono::duration<Rep, Period> d) {
+[[nodiscard]] constexpr SimDuration to_sim(std::chrono::duration<Rep,
+                                           Period> d) {
   return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
 }
 
@@ -50,7 +51,8 @@ struct Rate {
   /// when the rate is zero.
   [[nodiscard]] constexpr SimDuration period() const {
     if (per_second <= 0.0) return kSecond * 1'000'000'000;
-    return static_cast<SimDuration>(static_cast<double>(kSecond) / per_second + 0.5);
+    return static_cast<SimDuration>(
+        static_cast<double>(kSecond) / per_second + 0.5);
   }
 
   friend constexpr auto operator<=>(const Rate&, const Rate&) = default;
@@ -64,7 +66,9 @@ struct Bytes {
   explicit constexpr Bytes(std::int64_t v) : count(v) {}
 
   friend constexpr auto operator<=>(const Bytes&, const Bytes&) = default;
-  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes{a.count + b.count}; }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes{a.count + b.count};
+  }
 };
 
 /// Link capacity in bits per second.
@@ -74,8 +78,12 @@ struct Bandwidth {
   constexpr Bandwidth() = default;
   explicit constexpr Bandwidth(double bps) : bits_per_second(bps) {}
 
-  [[nodiscard]] static constexpr Bandwidth kbps(double v) { return Bandwidth{v * 1e3}; }
-  [[nodiscard]] static constexpr Bandwidth mbps(double v) { return Bandwidth{v * 1e6}; }
+  [[nodiscard]] static constexpr Bandwidth kbps(double v) {
+    return Bandwidth{v * 1e3};
+  }
+  [[nodiscard]] static constexpr Bandwidth mbps(double v) {
+    return Bandwidth{v * 1e6};
+  }
 
   /// Time to serialize `b` bytes onto a link of this capacity.
   [[nodiscard]] constexpr SimDuration serialization_time(Bytes b) const {
@@ -84,7 +92,8 @@ struct Bandwidth {
     return seconds_to_sim(seconds);
   }
 
-  friend constexpr auto operator<=>(const Bandwidth&, const Bandwidth&) = default;
+  friend constexpr auto operator<=>(const Bandwidth&,
+                                    const Bandwidth&) = default;
 };
 
 }  // namespace ff

@@ -67,11 +67,14 @@ std::string plot_series(const std::vector<const TimeSeries*>& series,
 
   std::vector<Scaled> scaled;
   scaled.reserve(series.size());
-  for (const auto* s : series) scaled.push_back(scale_to_columns(*s, t_end, options.width));
+  for (const auto* s : series) {
+    scaled.push_back(scale_to_columns(*s, t_end, options.width));
+  }
 
   if (!options.title.empty()) os << options.title << "\n";
 
-  std::vector<std::string> grid(options.height, std::string(options.width, ' '));
+  std::vector<std::string> grid(options.height, std::string(options.width,
+                                                            ' '));
   for (std::size_t si = 0; si < scaled.size(); ++si) {
     const char glyph = kGlyphs[si % sizeof(kGlyphs)];
     for (std::size_t c = 0; c < options.width; ++c) {
@@ -88,18 +91,22 @@ std::string plot_series(const std::vector<const TimeSeries*>& series,
   std::ostringstream top, bottom;
   top << std::setprecision(4) << y_max;
   bottom << std::setprecision(4) << y_min;
-  const std::size_t label_w = std::max(top.str().size(), bottom.str().size()) + 1;
+  const std::size_t label_w =
+      std::max(top.str().size(), bottom.str().size()) + 1;
 
   for (std::size_t r = 0; r < options.height; ++r) {
     std::string label(label_w, ' ');
-    if (r == 0) label = top.str() + std::string(label_w - top.str().size(), ' ');
+    if (r == 0) label = top.str() + std::string(label_w - top.str().size(),
+                                                ' ');
     if (r == options.height - 1) {
       label = bottom.str() + std::string(label_w - bottom.str().size(), ' ');
     }
     os << label << "|" << grid[r] << "\n";
   }
-  os << std::string(label_w, ' ') << "+" << std::string(options.width, '-') << "\n";
-  os << std::string(label_w, ' ') << "0s" << std::string(options.width > 12 ? options.width - 10 : 0, ' ')
+  os << std::string(label_w, ' ') << "+" << std::string(options.width, '-')
+      << "\n";
+  os << std::string(label_w, ' ') << "0s" << std::string(options.width > 12
+      ? options.width - 10 : 0, ' ')
      << std::fixed << std::setprecision(0) << sim_to_seconds(t_end) << "s\n";
 
   if (options.show_legend) {
@@ -120,7 +127,8 @@ std::string sparkline(const TimeSeries& series, std::size_t width) {
   static const char* kBlocks[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
   if (series.empty()) return "";
   const SimTime t_end = series.points().back().time;
-  const Scaled sc = scale_to_columns(series, std::max<SimTime>(t_end, 1), width);
+  const Scaled sc = scale_to_columns(series, std::max<SimTime>(t_end, 1),
+                                     width);
   const auto st = series.stats();
   const double lo = st.min();
   const double span = std::max(st.max() - lo, 1e-12);
@@ -136,7 +144,8 @@ std::string sparkline(const TimeSeries& series, std::size_t width) {
   return out;
 }
 
-TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
 
 void TextTable::add_row(std::vector<std::string> cells) {
   cells.resize(headers_.size());
@@ -145,7 +154,9 @@ void TextTable::add_row(std::vector<std::string> cells) {
 
 std::string TextTable::render() const {
   std::vector<std::size_t> widths(headers_.size());
-  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       widths[c] = std::max(widths[c], row[c].size());

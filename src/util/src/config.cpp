@@ -61,7 +61,9 @@ void Config::set(const std::string& key, std::string value) {
   values_[key] = std::move(value);
 }
 
-bool Config::has(const std::string& key) const { return values_.count(key) > 0; }
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
 
 std::optional<std::string> Config::get(const std::string& key) const {
   const auto it = values_.find(key);
@@ -84,7 +86,8 @@ double Config::get_double(const std::string& key, double fallback) const {
   }
 }
 
-std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
   try {
@@ -99,7 +102,9 @@ bool Config::get_bool(const std::string& key, bool fallback) const {
   if (!v) return fallback;
   std::string s = *v;
   std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+                 [](unsigned char c) {
+                   return static_cast<char>(std::tolower(c));
+                 });
   if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
   if (s == "0" || s == "false" || s == "no" || s == "off") return false;
   return fallback;

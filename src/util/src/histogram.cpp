@@ -33,13 +33,16 @@ void Histogram::reset() {
   underflow_ = overflow_ = total_ = 0;
 }
 
-double Histogram::bin_lo(std::size_t i) const { return lo_ + bin_width_ * static_cast<double>(i); }
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
 double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + bin_width_; }
 
 double Histogram::quantile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_));
   std::uint64_t cum = underflow_;
   if (cum > target) return lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
@@ -68,7 +71,8 @@ std::string Histogram::render(std::size_t width) const {
 LogHistogram::LogHistogram(double min_value, std::size_t buckets)
     : min_value_(min_value), counts_(buckets, 0) {
   if (buckets == 0 || min_value <= 0.0) {
-    throw std::invalid_argument("LogHistogram: need min_value > 0, buckets > 0");
+    throw std::invalid_argument(
+        "LogHistogram: need min_value > 0, buckets > 0");
   }
 }
 
@@ -89,7 +93,8 @@ double LogHistogram::bucket_lo(std::size_t i) const {
 double LogHistogram::quantile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_));
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     cum += counts_[i];

@@ -65,7 +65,7 @@ void P2Quantile::add(double x) {
   }
   ++count_;
 
-  int k;
+  int k = 0;
   if (x < heights_[0]) {
     heights_[0] = x;
     k = 0;

@@ -53,7 +53,8 @@ TEST(Experiment, SeriesAreRecordedEverySamplePeriod) {
       make_controller_factory<control::FrameFeedbackController>());
   const auto& series = r.devices[0].series;
   for (const char* name :
-       {"P", "Pl", "Po_target", "Po_achieved", "Po_success", "T", "Tn", "Tl", "cpu"}) {
+       {"P", "Pl", "Po_target", "Po_achieved", "Po_success", "T", "Tn", "Tl",
+        "cpu"}) {
     const TimeSeries* s = series.find(name);
     ASSERT_NE(s, nullptr) << name;
     // 15 s at 1 Hz, offset 0.5 s -> 15 samples.
@@ -77,7 +78,8 @@ TEST(Experiment, FrameFeedbackReachesSourceRateOnCleanNetwork) {
   const TimeSeries* po = r.devices[0].series.find("Po_target");
   // Second half of the run: Po pinned at Fs.
   EXPECT_NEAR(po->mean_between(20 * kSecond, 40 * kSecond), 30.0, 1.0);
-  EXPECT_NEAR(r.devices[0].series.find("P")->mean_between(20 * kSecond, 40 * kSecond),
+  EXPECT_NEAR(r.devices[0].series.find("P")->mean_between(20 * kSecond,
+                                                          40 * kSecond),
               30.0, 1.5);
 }
 

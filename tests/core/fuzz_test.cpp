@@ -16,7 +16,8 @@ net::NetemSchedule random_network(Rng& rng, SimDuration duration) {
     net::LinkConditions c;
     c.bandwidth = Bandwidth::mbps(rng.uniform(0.3, 20.0));
     c.loss_probability = rng.bernoulli(0.4) ? rng.uniform(0.0, 0.2) : 0.0;
-    c.propagation_delay = static_cast<SimDuration>(rng.uniform(0, 20)) * kMillisecond;
+    c.propagation_delay =
+        static_cast<SimDuration>(rng.uniform(0, 20)) * kMillisecond;
     s.add(t, c);
     t += static_cast<SimDuration>(rng.uniform(2.0, 12.0) * kSecond);
   }
@@ -59,10 +60,18 @@ TEST_P(FuzzSweep, InvariantsSurviveChaos) {
   // Alternate controller families across seeds.
   ControllerFactory factory;
   switch (seed % 4) {
-    case 0: factory = make_controller_factory<control::FrameFeedbackController>(); break;
-    case 1: factory = make_controller_factory<control::AlwaysOffloadController>(); break;
-    case 2: factory = make_controller_factory<control::IntervalOffloadController>(); break;
-    default: factory = make_controller_factory<control::QualityAdaptController>(); break;
+    case 0:
+      factory = make_controller_factory<control::FrameFeedbackController>();
+      break;
+    case 1:
+      factory = make_controller_factory<control::AlwaysOffloadController>();
+      break;
+    case 2:
+      factory = make_controller_factory<control::IntervalOffloadController>();
+      break;
+    default:
+      factory = make_controller_factory<control::QualityAdaptController>();
+      break;
   }
 
   const auto r = run_experiment(s, factory);
@@ -106,7 +115,8 @@ TEST_P(FuzzSweep, InvariantsSurviveChaos) {
   EXPECT_LE(r.server.batch_size.max(), 15.0);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range<std::uint64_t>(1, 13));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace ff::core

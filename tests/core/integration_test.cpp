@@ -193,9 +193,11 @@ TEST(Integration, CpuUtilizationDropsWhenOffloading) {
   const auto offload = run_experiment(
       s, make_controller_factory<control::AlwaysOffloadController>());
   const double u_local =
-      local.devices[0].series.find("cpu")->mean_between(10 * kSecond, 30 * kSecond);
+      local.devices[0].series.find("cpu")->mean_between(10 * kSecond,
+                                                        30 * kSecond);
   const double u_off =
-      offload.devices[0].series.find("cpu")->mean_between(10 * kSecond, 30 * kSecond);
+      offload.devices[0].series.find("cpu")->mean_between(10 * kSecond,
+                                                          30 * kSecond);
   EXPECT_NEAR(u_local, 0.502, 0.05);
   EXPECT_NEAR(u_off, 0.223, 0.05);
 }

@@ -8,7 +8,8 @@
 namespace ff::core {
 namespace {
 
-enum class ControllerKind { kFrameFeedback, kLocalOnly, kAlwaysOffload, kInterval, kAimd };
+enum class ControllerKind { kFrameFeedback, kLocalOnly, kAlwaysOffload,
+                           kInterval, kAimd };
 
 ControllerFactory factory_for(ControllerKind kind) {
   switch (kind) {
@@ -129,7 +130,8 @@ TEST_P(PoRangeSweep, PoAlwaysWithinRange) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, PoRangeSweep, ::testing::Range<std::uint64_t>(1, 8));
+INSTANTIATE_TEST_SUITE_P(Seeds, PoRangeSweep,
+                         ::testing::Range<std::uint64_t>(1, 8));
 
 class ServerInvariantSweep : public ::testing::TestWithParam<double> {};
 

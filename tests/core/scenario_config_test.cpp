@@ -7,7 +7,8 @@
 namespace ff::core {
 namespace {
 
-Config make_config(std::initializer_list<std::pair<const char*, const char*>> kvs) {
+Config make_config(std::initializer_list<std::pair<const char*,
+                   const char*>> kvs) {
   Config c;
   for (const auto& [k, v] : kvs) c.set(k, v);
   return c;
@@ -20,13 +21,17 @@ TEST(ScenarioConfig, DefaultsToIdeal) {
 }
 
 TEST(ScenarioConfig, SelectsPaperScenarios) {
-  EXPECT_EQ(scenario_from_config(make_config({{"scenario", "paper_network"}})).name,
+  EXPECT_EQ(scenario_from_config(make_config({{"scenario",
+                                               "paper_network"}})).name,
             "paper-network");
-  EXPECT_EQ(scenario_from_config(make_config({{"scenario", "paper_server_load"}})).name,
+  EXPECT_EQ(scenario_from_config(make_config({{"scenario",
+                                               "paper_server_load"}})).name,
             "paper-server-load");
-  EXPECT_EQ(scenario_from_config(make_config({{"scenario", "paper_combined"}})).name,
+  EXPECT_EQ(scenario_from_config(make_config({{"scenario",
+                                               "paper_combined"}})).name,
             "paper-combined");
-  EXPECT_EQ(scenario_from_config(make_config({{"scenario", "mixed_models"}})).name,
+  EXPECT_EQ(scenario_from_config(make_config({{"scenario",
+                                               "mixed_models"}})).name,
             "mixed-models");
 }
 
@@ -74,7 +79,8 @@ TEST(ScenarioConfig, InvalidDeviceNamesThrow) {
 
 TEST(ScenarioConfig, ConstantNetworkOverride) {
   const Scenario s = scenario_from_config(make_config(
-      {{"net.bandwidth_mbps", "4"}, {"net.loss", "0.07"}, {"net.delay_ms", "5"}}));
+      {{"net.bandwidth_mbps", "4"}, {"net.loss", "0.07"}, {"net.delay_ms",
+                                                           "5"}}));
   const auto c = s.network.at(0);
   EXPECT_DOUBLE_EQ(c.bandwidth.bits_per_second, 4e6);
   EXPECT_DOUBLE_EQ(c.loss_probability, 0.07);

@@ -86,7 +86,8 @@ TEST(NetworkedTransport, CancelSilencesFrame) {
   tc.uplink.initial.bandwidth = Bandwidth::mbps(0.5);  // slow: in flight long
   Rig rig(std::move(tc));
   rig.transport.offload(9, Bytes{30000});
-  (void)rig.sim.schedule_in(50 * kMillisecond, [&] { rig.transport.cancel(9); });
+  (void)rig.sim.schedule_in(50 * kMillisecond,
+                            [&] { rig.transport.cancel(9); });
   rig.sim.run_until(10 * kSecond);
   EXPECT_TRUE(rig.failures.empty());
 }
@@ -117,7 +118,8 @@ TEST(Report, PhaseComparisonAlignsColumns) {
   std::vector<std::vector<PhaseStat>> stats(2);
   for (int run = 0; run < 2; ++run) {
     stats[run].push_back({"phase-x", 0, 10 * kSecond, 11.0 + run, 0.0});
-    stats[run].push_back({"phase-y", 10 * kSecond, 20 * kSecond, 21.0 + run, 0.0});
+    stats[run].push_back({"phase-y", 10 * kSecond, 20 * kSecond, 21.0 + run,
+                          0.0});
   }
   std::ostringstream os;
   print_phase_comparison(os, {"a", "b"}, stats);

@@ -31,7 +31,8 @@ TEST(Dispatcher, HalfRateAlternates) {
   int offloads = 0;
   for (std::size_t i = 0; i < routes.size(); i += 2) {
     EXPECT_NE(routes[i], routes[i + 1]);
-    offloads += (routes[i] == Route::kOffload) + (routes[i + 1] == Route::kOffload);
+    offloads += (routes[i] == Route::kOffload) + (routes[i + 1]
+        == Route::kOffload);
   }
   EXPECT_EQ(offloads, 3);
 }

@@ -75,7 +75,8 @@ TEST(EdgeDevice, SplitRateCombinesLocalAndOffload) {
   const SimTime now = sim.now();
   auto& t = dev.telemetry();
   EXPECT_NEAR(t.offload_success_rate(now), 20.0, 1.5);
-  EXPECT_NEAR(t.local_rate(now), 10.0, 1.5);  // 10 routed locally, Pl=13 suffices
+  EXPECT_NEAR(t.local_rate(now), 10.0,
+              1.5);  // 10 routed locally, Pl=13 suffices
   EXPECT_NEAR(t.throughput(now), 30.0, 2.0);
 }
 

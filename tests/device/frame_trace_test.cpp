@@ -106,8 +106,10 @@ TEST(FrameTracer, DeviceLifecycleEndToEnd) {
   sim.run_until(5 * kSecond);
 
   EXPECT_NEAR(static_cast<double>(tracer.count(FrameEvent::kCaptured)), 150, 2);
-  EXPECT_NEAR(static_cast<double>(tracer.count(FrameEvent::kRoutedOffload)), 75, 2);
-  EXPECT_NEAR(static_cast<double>(tracer.count(FrameEvent::kRoutedLocal)), 75, 2);
+  EXPECT_NEAR(static_cast<double>(tracer.count(FrameEvent::kRoutedOffload)),
+              75, 2);
+  EXPECT_NEAR(static_cast<double>(tracer.count(FrameEvent::kRoutedLocal)), 75,
+              2);
   EXPECT_GT(tracer.count(FrameEvent::kOffloadSuccess), 70u);
   EXPECT_GT(tracer.count(FrameEvent::kLocalCompleted), 50u);
 

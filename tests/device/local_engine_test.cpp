@@ -58,7 +58,8 @@ TEST(LocalEngine, SustainedRateEqualsPl) {
                   [&](std::uint64_t, SimTime) { ++done; });
   // Offer 30 fps; engine can only do 13.
   std::uint64_t id = 0;
-  sim::PeriodicTimer source(sim, [&](std::uint64_t) { (void)eng.submit(id++, sim.now()); });
+  sim::PeriodicTimer source(
+      sim, [&](std::uint64_t) { (void)eng.submit(id++, sim.now()); });
   source.start(kSecond / 30);
   sim.run_until(30 * kSecond);
   EXPECT_NEAR(done / 30.0, 13.0, 0.7);
@@ -81,7 +82,8 @@ TEST(LocalEngine, BusyFractionApproachesOneUnderSaturation) {
   sim::Simulator sim(3);
   LocalEngine eng(sim, pi4_model(0.05), {2}, [](std::uint64_t, SimTime) {});
   std::uint64_t id = 0;
-  sim::PeriodicTimer source(sim, [&](std::uint64_t) { (void)eng.submit(id++, sim.now()); });
+  sim::PeriodicTimer source(
+      sim, [&](std::uint64_t) { (void)eng.submit(id++, sim.now()); });
   source.start(kSecond / 30);
   sim.run_until(20 * kSecond);
   EXPECT_GT(eng.busy_fraction(), 0.9);
@@ -91,7 +93,8 @@ TEST(LocalEngine, BusyFractionLowUnderLightLoad) {
   sim::Simulator sim(4);
   LocalEngine eng(sim, pi4_model(0.05), {2}, [](std::uint64_t, SimTime) {});
   std::uint64_t id = 0;
-  sim::PeriodicTimer source(sim, [&](std::uint64_t) { (void)eng.submit(id++, sim.now()); });
+  sim::PeriodicTimer source(
+      sim, [&](std::uint64_t) { (void)eng.submit(id++, sim.now()); });
   source.start(kSecond);  // 1 fps into a 13 fps engine
   sim.run_until(20 * kSecond);
   EXPECT_LT(eng.busy_fraction(), 0.15);

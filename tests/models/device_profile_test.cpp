@@ -7,12 +7,24 @@ namespace {
 
 TEST(DeviceProfile, TableIILocalRates) {
   // Paper Table II, verbatim.
-  EXPECT_DOUBLE_EQ(get_device(DeviceId::kPi3B).local_rate(ModelId::kMobileNetV3Small), 5.5);
-  EXPECT_DOUBLE_EQ(get_device(DeviceId::kPi4BR12).local_rate(ModelId::kMobileNetV3Small), 13.0);
-  EXPECT_DOUBLE_EQ(get_device(DeviceId::kPi4BR14).local_rate(ModelId::kMobileNetV3Small), 13.4);
-  EXPECT_DOUBLE_EQ(get_device(DeviceId::kPi3B).local_rate(ModelId::kEfficientNetB0), 1.8);
-  EXPECT_DOUBLE_EQ(get_device(DeviceId::kPi4BR12).local_rate(ModelId::kEfficientNetB0), 2.5);
-  EXPECT_DOUBLE_EQ(get_device(DeviceId::kPi4BR14).local_rate(ModelId::kEfficientNetB0), 4.2);
+  EXPECT_DOUBLE_EQ(
+      get_device(DeviceId::kPi3B).local_rate(ModelId::kMobileNetV3Small),
+      5.5);
+  EXPECT_DOUBLE_EQ(
+      get_device(DeviceId::kPi4BR12).local_rate(ModelId::kMobileNetV3Small),
+      13.0);
+  EXPECT_DOUBLE_EQ(
+      get_device(DeviceId::kPi4BR14).local_rate(ModelId::kMobileNetV3Small),
+      13.4);
+  EXPECT_DOUBLE_EQ(
+      get_device(DeviceId::kPi3B).local_rate(ModelId::kEfficientNetB0),
+      1.8);
+  EXPECT_DOUBLE_EQ(
+      get_device(DeviceId::kPi4BR12).local_rate(ModelId::kEfficientNetB0),
+      2.5);
+  EXPECT_DOUBLE_EQ(
+      get_device(DeviceId::kPi4BR14).local_rate(ModelId::kEfficientNetB0),
+      4.2);
 }
 
 TEST(DeviceProfile, TableIIHardware) {
@@ -57,8 +69,9 @@ TEST(DeviceProfile, ParseRoundTrip) {
 }
 
 TEST(DeviceProfile, FasterPiIsFaster) {
-  EXPECT_GT(get_device(DeviceId::kPi4BR14).local_rate(ModelId::kMobileNetV3Small),
-            get_device(DeviceId::kPi3B).local_rate(ModelId::kMobileNetV3Small));
+  EXPECT_GT(
+      get_device(DeviceId::kPi4BR14).local_rate(ModelId::kMobileNetV3Small),
+      get_device(DeviceId::kPi3B).local_rate(ModelId::kMobileNetV3Small));
 }
 
 TEST(CpuUtilization, PaperEndpoints) {

@@ -108,7 +108,8 @@ TEST(Link, BandwidthChangeAffectsSubsequentPackets) {
     slow.bandwidth = Bandwidth::mbps(0.8);  // 10x slower
     link.set_conditions(slow);
   });
-  (void)sim.schedule_at(2000, [&] { (void)link.send(data_packet(2, 0, 1000)); });
+  (void)sim.schedule_at(2000, [&] { (void)link.send(data_packet(2, 0,
+                                                                1000)); });
   sim.run();
   ASSERT_EQ(times.size(), 2u);
   EXPECT_EQ(times[0], 2000);           // 1000 ser + 1000 prop

@@ -45,8 +45,10 @@ TEST(SharedMedium, TwoLinksSerializeAlternately) {
   a.attach_medium(&medium);
   b.attach_medium(&medium);
   std::vector<std::pair<char, SimTime>> deliveries;
-  a.set_receiver([&](const Packet&) { deliveries.emplace_back('a', sim.now()); });
-  b.set_receiver([&](const Packet&) { deliveries.emplace_back('b', sim.now()); });
+  a.set_receiver([&](const Packet&) { deliveries.emplace_back('a',
+                                                              sim.now()); });
+  b.set_receiver([&](const Packet&) { deliveries.emplace_back('b',
+                                                              sim.now()); });
   // Both links loaded with two packets each.
   (void)a.send(packet(1));
   (void)a.send(packet(2));
@@ -140,8 +142,10 @@ TEST(SharedMedium, LinksWithDifferentRatesShareAirtimeNotBytes) {
   a.attach_medium(&medium);
   b.attach_medium(&medium);
   std::vector<std::pair<char, SimTime>> deliveries;
-  a.set_receiver([&](const Packet&) { deliveries.emplace_back('a', sim.now()); });
-  b.set_receiver([&](const Packet&) { deliveries.emplace_back('b', sim.now()); });
+  a.set_receiver([&](const Packet&) { deliveries.emplace_back('a',
+                                                              sim.now()); });
+  b.set_receiver([&](const Packet&) { deliveries.emplace_back('b',
+                                                              sim.now()); });
   (void)a.send(packet(1));  // 1000 us on air
   (void)b.send(packet(2));  // 10000 us on air
   (void)a.send(packet(3));  // must wait for b's long transmission

@@ -9,8 +9,9 @@
 namespace ff::server {
 namespace {
 
-InferenceRequest req(std::uint64_t id,
-                     models::ModelId model = models::ModelId::kMobileNetV3Small) {
+InferenceRequest req(
+    std::uint64_t id,
+    models::ModelId model = models::ModelId::kMobileNetV3Small) {
   InferenceRequest r;
   r.request_id = id;
   r.client_id = 1;
@@ -174,7 +175,8 @@ TEST(EdgeServer, ServiceLatencyIncludesQueueing) {
   sim.run();
   ASSERT_EQ(c.outcomes.size(), 2u);
   // Request 1 waited for batch 0 to finish.
-  EXPECT_GT(c.outcomes[1].service_latency(), c.outcomes[0].service_latency() / 2);
+  EXPECT_GT(c.outcomes[1].service_latency(),
+            c.outcomes[0].service_latency() / 2);
 }
 
 // Regression: queue_for hands out a reference into the queue container, and

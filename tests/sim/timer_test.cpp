@@ -66,7 +66,8 @@ TEST(PeriodicTimer, RestartReschedules) {
   std::vector<SimTime> fire_times;
   PeriodicTimer t(sim, [&](std::uint64_t) { fire_times.push_back(sim.now()); });
   t.start(kSecond, kSecond);
-  (void)sim.schedule_at(kSecond + 1, [&] { t.start(2 * kSecond, 2 * kSecond); });
+  (void)sim.schedule_at(kSecond + 1, [&] { t.start(2 * kSecond,
+                                                   2 * kSecond); });
   sim.run_until(6 * kSecond);
   // Fired at 1s (old), then restarted: 3s+1us, 5s+1us.
   ASSERT_EQ(fire_times.size(), 3u);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -59,6 +60,53 @@ TEST(SpscQueue, ConcurrentProducerConsumerDeliversAll) {
   EXPECT_EQ(sum.load(), static_cast<long long>(kCount) * (kCount + 1) / 2);
 }
 
+// Regression: try_push used to take its argument by value, so a push that
+// FAILED (queue full) still moved-from the caller's object; retry loops
+// over move-only types then enqueued an empty husk (a null InlineTask ->
+// crash on invoke). A failed try_push must leave the value untouched.
+TEST(SpscQueue, FailedTryPushDoesNotConsumeMoveOnlyValue) {
+  SpscQueue<std::unique_ptr<int>> q(2);
+  auto cap = q.size_approx();  // fill to the real (rounded) capacity
+  while (q.try_push(std::make_unique<int>(0))) cap = q.size_approx();
+
+  auto value = std::make_unique<int>(42);
+  EXPECT_FALSE(q.try_push(std::move(value)));
+  ASSERT_NE(value, nullptr) << "failed try_push consumed the value";
+  EXPECT_EQ(*value, 42);
+
+  (void)q.try_pop();  // free one slot; the preserved value goes through
+  EXPECT_TRUE(q.try_push(std::move(value)));
+  EXPECT_EQ(q.size_approx(), cap);
+}
+
+TEST(MpmcQueue, FailedTryPushDoesNotConsumeMoveOnlyValue) {
+  MpmcQueue<std::unique_ptr<int>> q(1);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(1)));
+
+  auto value = std::make_unique<int>(42);
+  EXPECT_FALSE(q.try_push(std::move(value)));  // full
+  ASSERT_NE(value, nullptr) << "failed try_push consumed the value";
+
+  q.close();
+  EXPECT_FALSE(q.try_push(std::move(value)));  // closed
+  ASSERT_NE(value, nullptr) << "closed try_push consumed the value";
+  EXPECT_EQ(*value, 42);
+}
+
+// Regression: size_approx() read head_ before tail_, so a pop landing
+// between the two loads wrapped the masked subtraction and reported a
+// near-full queue for a near-empty one. Quiescent exactness pins the fix.
+TEST(SpscQueue, SizeApproxExactWhenQuiescent) {
+  SpscQueue<int> q(8);
+  EXPECT_EQ(q.size_approx(), 0u);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(i));
+  EXPECT_EQ(q.size_approx(), 5u);
+  (void)q.try_pop();
+  (void)q.try_pop();
+  EXPECT_EQ(q.size_approx(), 3u);
+  EXPECT_FALSE(q.empty_approx());
+}
+
 TEST(MpmcQueue, BlockingPopReceivesPush) {
   MpmcQueue<int> q(4);
   std::thread t([&] { EXPECT_TRUE(q.push(42)); });
@@ -110,8 +158,8 @@ TEST(MpmcQueue, ManyProducersManyConsumers) {
   q.close();
   for (auto& t : threads) t.join();
 
-  const long long expected =
-      static_cast<long long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2;
+  const long long expected = static_cast<long long>(kProducers) *
+                             kPerProducer * (kPerProducer + 1) / 2;
   EXPECT_EQ(sum.load(), expected);
 }
 

@@ -30,7 +30,8 @@ TEST(Units, BandwidthSerialization) {
 
 TEST(Units, ZeroBandwidthNeverCompletes) {
   const Bandwidth bw{0.0};
-  EXPECT_GT(bw.serialization_time(Bytes{1}), 1000LL * 365 * 24 * 3600 * kSecond / 1000);
+  EXPECT_GT(bw.serialization_time(Bytes{1}),
+            1000LL * 365 * 24 * 3600 * kSecond / 1000);
 }
 
 TEST(Units, BytesAddition) {

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Format gate for first-party C++ files. Two layers:
+#
+#   1. Mechanical checks (always run, no external tools): 80-column limit
+#      (counted in decoded characters, so UTF-8 glyphs in string literals
+#      don't trip it), no tabs, no trailing whitespace, newline at EOF.
+#   2. Full .clang-format conformance (runs only when clang-format is on
+#      PATH; SKIP otherwise, hard failure when FF_TIDY_STRICT=1).
+#
+# Usage:
+#   tools/check-format.sh          # check only (CI mode)
+#   tools/check-format.sh --fix    # clang-format -i (requires clang-format)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE="check"
+[[ "${1:-}" == "--fix" ]] && MODE="fix"
+
+mapfile -t FILES < <(find src tests bench examples \
+  \( -name '*.h' -o -name '*.cpp' \) -type f | sort)
+
+FMT_BIN="${CLANG_FORMAT:-clang-format}"
+HAVE_FMT=0
+command -v "$FMT_BIN" >/dev/null 2>&1 && HAVE_FMT=1
+
+if [[ "$MODE" == "fix" ]]; then
+  if [[ $HAVE_FMT -ne 1 ]]; then
+    echo "check-format: FATAL: --fix needs '$FMT_BIN' on PATH" >&2
+    exit 2
+  fi
+  "$FMT_BIN" -i --style=file "${FILES[@]}"
+  echo "check-format: reformatted ${#FILES[@]} files"
+  exit 0
+fi
+
+# Layer 1: mechanical checks, authoritative on every machine.
+if ! python3 - "${FILES[@]}" <<'PY'
+import sys
+
+failed = 0
+for path in sys.argv[1:]:
+    with open(path, "rb") as f:
+        raw = f.read()
+    if raw and not raw.endswith(b"\n"):
+        print(f"check-format: {path}: missing newline at EOF", file=sys.stderr)
+        failed = 1
+    text = raw.decode("utf-8")
+    for i, line in enumerate(text.splitlines(), 1):
+        if len(line) > 80:
+            print(f"check-format: {path}:{i}: {len(line)} columns (limit 80)",
+                  file=sys.stderr)
+            failed = 1
+        if "\t" in line:
+            print(f"check-format: {path}:{i}: tab character", file=sys.stderr)
+            failed = 1
+        if line != line.rstrip():
+            print(f"check-format: {path}:{i}: trailing whitespace",
+                  file=sys.stderr)
+            failed = 1
+sys.exit(failed)
+PY
+then
+  echo "check-format: FAILED mechanical checks" >&2
+  exit 1
+fi
+
+# Layer 2: full clang-format conformance, when the tool exists.
+if [[ $HAVE_FMT -ne 1 ]]; then
+  if [[ "${FF_TIDY_STRICT:-0}" == "1" ]]; then
+    echo "check-format: FATAL: '$FMT_BIN' not found and FF_TIDY_STRICT=1" >&2
+    exit 2
+  fi
+  echo "check-format: OK (mechanical only; '$FMT_BIN' not on PATH)" >&2
+  exit 0
+fi
+
+FAILED=0
+for f in "${FILES[@]}"; do
+  if ! "$FMT_BIN" --style=file --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "check-format: NEEDS FORMAT: $f" >&2
+    FAILED=1
+  fi
+done
+
+if [[ $FAILED -ne 0 ]]; then
+  echo "check-format: FAILED: run tools/check-format.sh --fix" >&2
+  exit 1
+fi
+echo "check-format: OK (${#FILES[@]} files)"

@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""Determinism linter for the FrameFeedback simulation kernel.
+
+The reproduction's headline claim is bit-identical deterministic replay of
+the paper's control loop (tests/core/determinism_test.cpp pins a golden
+(time, sequence) fingerprint). That property dies silently when simulation
+code reads ambient state: wall clocks, process entropy, or address-space
+layout (pointer-keyed hash containers whose iteration order feeds the
+scheduler). This linter bans those sources inside the deterministic core
+— src/{sim,net,control,core,device,server,rt} — with an explicit inline
+escape hatch for the few legitimate uses:
+
+    // ff-lint: allow(wall-clock) <reason>
+
+on the offending line or the line directly above it.
+
+Rules
+-----
+  wall-clock        std::chrono::{system,steady,high_resolution}_clock,
+                    clock_gettime, gettimeofday. Sim code must derive time
+                    from Simulator::now() only. (rt/realtime.cpp pacing is
+                    the canonical allow() site.)
+  ambient-entropy   std::random_device, rand()/srand(), time(NULL/0/...).
+                    All randomness must flow from the seeded ff::Rng.
+  unordered-pointer-key
+                    unordered_map/unordered_set keyed by a pointer type:
+                    iteration order depends on ASLR, so any traversal that
+                    feeds scheduling decisions replays differently.
+  unordered-iteration
+                    range-for over an unordered container declared in the
+                    same file, inside scheduling paths (src/sim, src/server,
+                    src/device): iteration order is unspecified and must not
+                    reach the event queue. Keyed lookups are fine.
+  raw-allocation    direct `new`/`malloc`/`::operator new` in event-dispatch
+                    code (src/sim): the kernel's hot path is allocation-free
+                    by design (tests/sim/allocation_test.cpp enforces it);
+                    new allocation sites need an explicit allow() with a
+                    rationale.
+
+Usage
+-----
+  tools/determinism_lint.py              # lint the repo (exit 1 on findings)
+  tools/determinism_lint.py --root DIR   # lint an alternate tree
+  tools/determinism_lint.py --self-test  # verify the linter catches seeded
+                                         # violations in generated fixtures
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Directories (relative to repo root) covered by each rule.
+DETERMINISTIC_DIRS = (
+    "src/sim",
+    "src/net",
+    "src/control",
+    "src/core",
+    "src/device",
+    "src/server",
+    "src/rt",
+)
+SCHEDULING_DIRS = ("src/sim", "src/server", "src/device")
+DISPATCH_DIRS = ("src/sim",)
+
+ALLOW_RE = re.compile(r"//\s*ff-lint:\s*allow\(([a-z0-9-]+)\)")
+
+# Each rule: (name, regex, dirs, message). Regexes run on comment- and
+# string-stripped lines so prose mentioning e.g. steady_clock can't trip it.
+RULES = [
+    (
+        "wall-clock",
+        re.compile(
+            r"\b(?:std::chrono::)?(?:system_clock|steady_clock|"
+            r"high_resolution_clock)\b|\bclock_gettime\s*\(|\bgettimeofday\s*\("
+        ),
+        DETERMINISTIC_DIRS,
+        "wall-clock read in deterministic code; use Simulator::now()",
+    ),
+    (
+        "ambient-entropy",
+        re.compile(
+            r"\bstd::random_device\b|\brandom_device\s*\{|\bs?rand\s*\(|"
+            r"(?:^|[^\w.>:])time\s*\(\s*(?:NULL|nullptr|0|&)"
+        ),
+        DETERMINISTIC_DIRS,
+        "ambient entropy source; use the seeded ff::Rng",
+    ),
+    (
+        "unordered-pointer-key",
+        re.compile(r"\bunordered_(?:map|set)\s*<[^,>]*\*"),
+        DETERMINISTIC_DIRS,
+        "pointer-keyed hash container: iteration order follows ASLR",
+    ),
+    (
+        "raw-allocation",
+        # `new Type` and `::operator new(` allocate; placement `new (addr)`
+        # does not and is excluded by requiring an identifier after `new`.
+        re.compile(r"\bnew\s+[A-Za-z_]|\bmalloc\s*\(|::operator new\s*\("),
+        DISPATCH_DIRS,
+        "direct allocation in event-dispatch code; the kernel hot path is "
+        "allocation-free (see tests/sim/allocation_test.cpp)",
+    ),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set)\s*<.*>\s*(\w+)\s*[;{=]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(?:this->)?(\w+)\s*\)")
+
+
+def strip_code(line: str) -> str:
+    """Removes // comments, string and char literals (keeps structure)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            i += 1
+            out.append("<lit>")
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(lines: list[str], idx: int) -> set[str]:
+    """allow() directives on line idx or in the contiguous // comment block
+    directly above it (multi-line rationales are encouraged)."""
+    allows = set(ALLOW_RE.findall(lines[idx]))
+    j = idx - 1
+    while j >= 0 and lines[j].lstrip().startswith("//"):
+        allows |= set(ALLOW_RE.findall(lines[j]))
+        j -= 1
+    return allows
+
+
+def in_dirs(rel: str, dirs: tuple[str, ...]) -> bool:
+    return any(rel == d or rel.startswith(d + "/") or rel.startswith(d + os.sep)
+               for d in dirs)
+
+
+def lint_file(root: str, rel: str) -> list[tuple[str, int, str, str]]:
+    """Returns (file, line_number, rule, message) findings for one file."""
+    path = os.path.join(root, rel)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"determinism-lint: cannot read {rel}: {e}", file=sys.stderr)
+        return []
+
+    stripped = [strip_code(l) for l in lines]
+    findings = []
+
+    for name, pattern, dirs, message in RULES:
+        if not in_dirs(rel, dirs):
+            continue
+        for i, code in enumerate(stripped):
+            if pattern.search(code) and name not in allowed_rules(lines, i):
+                findings.append((rel, i + 1, name, message))
+
+    # unordered-iteration needs file-level state: collect container names
+    # declared in this file, then flag range-fors over them.
+    if in_dirs(rel, SCHEDULING_DIRS):
+        unordered_names = set()
+        for code in stripped:
+            m = UNORDERED_DECL_RE.search(code)
+            if m:
+                unordered_names.add(m.group(1))
+        if unordered_names:
+            for i, code in enumerate(stripped):
+                m = RANGE_FOR_RE.search(code)
+                if (m and m.group(1) in unordered_names
+                        and "unordered-iteration" not in allowed_rules(lines, i)):
+                    findings.append((
+                        rel, i + 1, "unordered-iteration",
+                        f"range-for over unordered container '{m.group(1)}': "
+                        "iteration order is unspecified and must not feed "
+                        "scheduling decisions",
+                    ))
+    return findings
+
+
+def lint_tree(root: str) -> list[tuple[str, int, str, str]]:
+    findings = []
+    for d in DETERMINISTIC_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, filenames in os.walk(base):
+            for fn in sorted(filenames):
+                if fn.endswith((".h", ".cpp", ".hpp", ".cc")):
+                    rel = os.path.relpath(os.path.join(dirpath, fn), root)
+                    findings.extend(lint_file(root, rel))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: seed one violation per rule (plus allow()-suppressed twins and
+# known false-positive shapes) into a scratch tree and check the verdicts.
+
+SELF_TEST_FIXTURES = {
+    # Seeded wall-clock violation the acceptance criteria call out.
+    "src/sim/bad_clock.cpp": (
+        "#include <chrono>\n"
+        "double wall_now() {\n"
+        "  return std::chrono::system_clock::now().time_since_epoch().count();\n"
+        "}\n"
+    ),
+    "src/net/bad_entropy.cpp": (
+        "#include <cstdlib>\n"
+        "#include <ctime>\n"
+        "int jitter() { return std::rand(); }\n"
+        "long stamp() { return time(nullptr); }\n"
+        "unsigned seed() { std::random_device rd; return rd(); }\n"
+    ),
+    "src/server/bad_unordered.cpp": (
+        "#include <unordered_map>\n"
+        "struct Flow;\n"
+        "std::unordered_map<Flow*, int> by_flow_;\n"
+        "std::unordered_map<int, int> queue_depth_;\n"
+        "int drain() {\n"
+        "  int total = 0;\n"
+        "  for (auto& kv : queue_depth_) total += kv.second;\n"
+        "  return total;\n"
+        "}\n"
+    ),
+    "src/sim/bad_alloc.cpp": (
+        "struct Event { int id; };\n"
+        "Event* dispatch() { return new Event{1}; }\n"
+    ),
+    # allow() escape hatch: none of these may be reported.
+    "src/rt/good_allowed.cpp": (
+        "#include <chrono>\n"
+        "double pace() {\n"
+        "  // ff-lint: allow(wall-clock) realtime pacing measures wall time\n"
+        "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+        "}\n"
+    ),
+    # False-positive shapes: comments, strings, member initializers named\n
+    # `time`, placement new, and keyed (non-iterating) unordered lookups.
+    "src/core/good_clean.cpp": (
+        "// steady_clock is banned here; this comment must not trip the lint\n"
+        "#include <new>\n"
+        "#include <unordered_map>\n"
+        "const char* kDoc = \"std::rand() and malloc() are banned\";\n"
+        "struct Stamp { double time; explicit Stamp(double t) : time(t) {} };\n"
+        "std::unordered_map<int, int> table_;\n"
+        "int lookup(int k) { return table_.at(k); }\n"
+        "void* emplace(void* slot) { return ::new (slot) Stamp(0.0); }\n"
+    ),
+}
+
+EXPECTED = {
+    ("src/sim/bad_clock.cpp", "wall-clock"),
+    ("src/net/bad_entropy.cpp", "ambient-entropy"),
+    ("src/server/bad_unordered.cpp", "unordered-pointer-key"),
+    ("src/server/bad_unordered.cpp", "unordered-iteration"),
+    ("src/sim/bad_alloc.cpp", "raw-allocation"),
+}
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory(prefix="fflint-selftest-") as root:
+        for rel, content in SELF_TEST_FIXTURES.items():
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+
+        findings = lint_tree(root)
+        got = {(f.replace(os.sep, "/"), rule) for f, _, rule, _ in findings}
+
+        ok = True
+        for want in sorted(EXPECTED):
+            if want in got:
+                print(f"self-test: PASS caught {want[1]} in {want[0]}")
+            else:
+                print(f"self-test: FAIL missed {want[1]} in {want[0]}")
+                ok = False
+        for extra in sorted(got - EXPECTED):
+            print(f"self-test: FAIL false positive {extra[1]} in {extra[0]}")
+            ok = False
+
+        print(f"self-test: {'OK' if ok else 'FAILED'}")
+        return 0 if ok else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), ".."))
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter against seeded fixture violations")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = lint_tree(os.path.abspath(args.root))
+    for rel, line, rule, message in findings:
+        print(f"{rel}:{line}: [{rule}] {message}")
+    if findings:
+        print(f"determinism-lint: FAILED ({len(findings)} finding(s)); "
+              "fix or annotate with '// ff-lint: allow(<rule>) <reason>'",
+              file=sys.stderr)
+        return 1
+    print("determinism-lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
