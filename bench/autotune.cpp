@@ -4,17 +4,18 @@
 
 #include <iostream>
 
-#include "ff/core/autotune.h"
 #include "ff/core/framefeedback.h"
+#include "ff/rt/thread_pool.h"
+#include "ff/sweep/autotune.h"
 
 int main() {
   using namespace ff;
 
   std::cout << "=== Automatic gain search on the Fig. 2 scenario ===\n\n";
 
-  core::AutoTuneConfig cfg;
+  sweep::AutoTuneConfig cfg;
   cfg.scenario.seed = 42;
-  const auto result = core::auto_tune(cfg);
+  const auto result = sweep::auto_tune(cfg);
 
   TextTable table({"Kp", "Kd", "rise (s)", "overshoot", "osc clean",
                    "osc disturbed", "score", "mean P"});
@@ -42,5 +43,6 @@ int main() {
                "cells, at the cost of a ~6 s slower ramp. Re-weight the\n"
                "score (disturbance_weight) and the optimum slides along\n"
                "exactly this trade.\n";
+  rt::shutdown_default_pool();
   return 0;
 }

@@ -1,14 +1,15 @@
 // Multi-tenant fairness: the paper requires that when the server
 // saturates, "the system should respond by reducing offloading and
 // distributing the available capacity fairly among clients" (§II-A.3).
-// Runs N identical devices against one server at increasing N and reports
-// Jain's fairness index over per-device offload throughput.
+// Sweeps a device-count axis (N identical devices against one server) and
+// reports Jain's fairness index over per-device offload throughput.
 
 #include <cmath>
 #include <iostream>
 
 #include "ff/core/framefeedback.h"
 #include "ff/rt/thread_pool.h"
+#include "ff/sweep/sweep.h"
 
 namespace {
 
@@ -32,27 +33,37 @@ int main() {
 
   const std::vector<int> device_counts = {2, 4, 6, 8, 12};
 
-  const auto results = rt::parallel_map(device_counts.size(),
-                                        [&](std::size_t i) {
-    core::Scenario s = core::Scenario::ideal(60 * kSecond);
-    s.seed = 42;
-    const device::DeviceConfig proto = s.devices[0];
-    s.devices.clear();
-    for (int d = 0; d < device_counts[i]; ++d) {
-      device::DeviceConfig dc = proto;
-      dc.name = "dev" + std::to_string(d);
-      s.add_device(dc);
-    }
-    return core::run_experiment(
-        s, core::make_controller_factory<control::FrameFeedbackController>());
-  });
+  sweep::SweepConfig cfg;
+  cfg.name = "fairness";
+  cfg.base = core::Scenario::ideal(60 * kSecond);
+  cfg.base.seed = 42;
+  cfg.seed_mode = sweep::SeedMode::kScenario;
+  cfg.controllers = {
+      {"frame-feedback",
+       core::make_controller_factory<control::FrameFeedbackController>()}};
+  sweep::Axis devices_axis;
+  devices_axis.name = "devices";
+  for (const int n : device_counts) {
+    devices_axis.values.push_back(
+        {std::to_string(n), [n](core::Scenario& s) {
+           const device::DeviceConfig proto = s.devices[0];
+           s.devices.clear();
+           for (int d = 0; d < n; ++d) {
+             device::DeviceConfig dc = proto;
+             dc.name = "dev" + std::to_string(d);
+             s.add_device(dc);
+           }
+         }});
+  }
+  cfg.axes.push_back(std::move(devices_axis));
+  const sweep::SweepResult runs = sweep::run(cfg);
 
   TextTable table({"devices", "offered (fps)", "server capacity", "total P",
                    "min/max device offload", "Jain index"});
   const double capacity = models::gpu_throughput(
       models::get_model(models::ModelId::kMobileNetV3Small), 15);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
+  for (std::size_t i = 0; i < runs.points.size(); ++i) {
+    const auto& r = runs.points[i].result;
     std::vector<double> offload_rates;
     for (const auto& d : r.devices) {
       offload_rates.push_back(
@@ -73,5 +84,6 @@ int main() {
                "every controller down together; a healthy result keeps the\n"
                "index high while total P approaches server capacity plus the\n"
                "devices' local rates.\n";
+  rt::shutdown_default_pool();
   return 0;
 }

@@ -10,15 +10,7 @@
 
 #include "ff/core/framefeedback.h"
 #include "ff/rt/thread_pool.h"
-
-namespace {
-
-struct GainRun {
-  double kp, kd;
-  ff::core::ExperimentResult result;
-};
-
-}  // namespace
+#include "ff/sweep/sweep.h"
 
 int main() {
   using namespace ff;
@@ -45,25 +37,27 @@ int main() {
       {0.05, 0.26}, // sluggish
   };
 
-  const auto runs = rt::parallel_map(gains.size(), [&](std::size_t i) {
-    core::Scenario scenario = core::Scenario::paper_tuning();
-    scenario.seed = 42;
+  sweep::SweepConfig cfg;
+  cfg.name = "fig2_tuning";
+  cfg.base = core::Scenario::paper_tuning();
+  cfg.base.seed = 42;
+  cfg.seed_mode = sweep::SeedMode::kScenario;
+  for (const auto& [kp, kd] : gains) {
     control::FrameFeedbackConfig c;
-    c.kp = gains[i].first;
-    c.kd = gains[i].second;
-    return GainRun{c.kp, c.kd,
-                   core::run_experiment(
-                       scenario,
-                       core::make_controller_factory<
-                           control::FrameFeedbackController>(c))};
-  });
+    c.kp = kp;
+    c.kd = kd;
+    cfg.controllers.push_back(
+        {"Kp=" + fmt(kp, 2) + ",Kd=" + fmt(kd, 2),
+         core::make_controller_factory<control::FrameFeedbackController>(c)});
+  }
+  const sweep::SweepResult runs = sweep::run(cfg);
 
   std::vector<TimeSeries> traces;
-  traces.reserve(runs.size());
-  for (const auto& run : runs) {
-    TimeSeries t("Kp=" + fmt(run.kp, 2) + ",Kd=" + fmt(run.kd, 2));
+  traces.reserve(runs.points.size());
+  for (const auto& point : runs.points) {
+    TimeSeries t(point.desc.label);
     for (const auto& p
-        : run.result.devices[0].series.find("Po_target")->points()) {
+        : point.result.devices[0].series.find("Po_target")->points()) {
       t.record(p.time, p.value);
     }
     traces.push_back(std::move(t));
@@ -81,13 +75,15 @@ int main() {
 
   TextTable cmp({"Kp", "Kd", "rise (s)", "overshoot", "osc pre-loss",
                  "osc post-loss", "mean Po post-loss"});
-  for (const auto& run : runs) {
-    const auto& po = *run.result.devices[0].series.find("Po_target");
+  for (std::size_t i = 0; i < runs.points.size(); ++i) {
+    const auto& result = runs.points[i].result;
+    const auto& po = *result.devices[0].series.find("Po_target");
     const auto pre = control::analyze_response(po, 0, 27 * kSecond, 30.0);
     const auto post =
-        control::analyze_response(po, 27 * kSecond, run.result.duration, 30.0);
-    cmp.add_row({fmt(run.kp, 2), fmt(run.kd, 2), fmt(pre.rise_time_s, 1),
-                 fmt(pre.overshoot, 2), fmt(pre.steady_oscillation, 2),
+        control::analyze_response(po, 27 * kSecond, result.duration, 30.0);
+    cmp.add_row({fmt(gains[i].first, 2), fmt(gains[i].second, 2),
+                 fmt(pre.rise_time_s, 1), fmt(pre.overshoot, 2),
+                 fmt(pre.steady_oscillation, 2),
                  fmt(post.steady_oscillation, 2), fmt(post.steady_mean, 1)});
   }
   std::cout << cmp.render();
@@ -98,12 +94,8 @@ int main() {
                "raising Kp without Kd oscillates; dropping Kd slows damping.\n";
 
   // CSV: long form, one series per gain pair.
-  SeriesBundle bundle;
-  for (const auto& t : traces) {
-    TimeSeries& s = bundle.series(t.name());
-    for (const auto& p : t.points()) s.record(p.time, p.value);
-  }
-  write_bundle_csv(bundle, "fig2_tuning.csv");
+  sweep::write_series_csv(runs, "Po_target", 0, "fig2_tuning.csv");
   std::cout << "\nwrote fig2_tuning.csv\n";
+  rt::shutdown_default_pool();
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "ff/core/framefeedback.h"
 #include "ff/rt/thread_pool.h"
+#include "ff/sweep/sweep.h"
 
 int main() {
   using namespace ff;
@@ -36,7 +37,11 @@ int main() {
   }
   std::cout << tv.render() << "\n";
 
-  const std::vector<std::pair<std::string, core::ControllerFactory>> entries = {
+  sweep::SweepConfig cfg;
+  cfg.name = "fig3_network";
+  cfg.base = scenario;
+  cfg.seed_mode = sweep::SeedMode::kScenario;
+  cfg.controllers = {
       {"frame-feedback",
        core::make_controller_factory<control::FrameFeedbackController>()},
       {"local-only",
@@ -46,59 +51,52 @@ int main() {
       {"all-or-nothing",
        core::make_controller_factory<control::IntervalOffloadController>()},
   };
-
-  const auto results = rt::parallel_map(entries.size(), [&](std::size_t i) {
-    return core::run_experiment(scenario, entries[i].second);
-  });
+  const sweep::SweepResult runs = sweep::run(cfg);
 
   std::vector<const core::ExperimentResult*> ptrs;
-  for (const auto& r : results) ptrs.push_back(&r);
+  for (const auto& point : runs.points) ptrs.push_back(&point.result);
   core::plot_runs(std::cout,
                   "Total inference throughput P (fps), device pi4b_r14", ptrs,
                   "P", 0, 32.0);
 
   // FrameFeedback internals, as the paper's figure shows Po alongside P.
   std::cout << "\nFrameFeedback offload target Po (device pi4b_r14):\n  "
-            << sparkline(*results[0].devices[0].series.find("Po_target"))
+            << sparkline(
+                   *runs.points[0].result.devices[0].series.find("Po_target"))
             << "\n";
 
   std::cout << "\nMean P (fps) per network phase (3 s settle):\n";
   std::vector<std::string> names;
   std::vector<std::vector<core::PhaseStat>> stats;
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    names.push_back(entries[i].first);
-    stats.push_back(core::phase_means(*results[i].devices[0].series.find("P"),
-                                      scenario.network, results[i].duration));
+  for (const auto& point : runs.points) {
+    names.push_back(point.desc.controller);
+    stats.push_back(
+        core::phase_means(*point.result.devices[0].series.find("P"),
+                          scenario.network, point.result.duration));
   }
   core::print_phase_comparison(std::cout, names, stats);
 
   // Headline claims (paper §IV-D): around t=40s and beyond t=90s
   // FrameFeedback beats all-or-nothing by 50% to 3x.
-  const auto& ff = results[0].devices[0];
-  const auto& aon = results[3].devices[0];
+  const auto& ff = runs.points[0].result.devices[0];
+  const auto& aon = runs.points[3].result.devices[0];
   const double r40 =
       core::throughput_ratio(ff, aon, 33 * kSecond, 45 * kSecond);
-  const double r90 =
-      core::throughput_ratio(ff, aon, 90 * kSecond, results[0].duration);
+  const double r90 = core::throughput_ratio(ff, aon, 90 * kSecond,
+                                            runs.points[0].result.duration);
   std::cout << "\nHeadline ratios (FrameFeedback / all-or-nothing):\n"
             << "  around t=40s (4-unit phase): " << fmt(r40, 2) << "x\n"
             << "  beyond t=90s (loss phases):  " << fmt(r90, 2) << "x\n"
             << "  paper claims: between 1.5x and 3x in these windows\n";
 
   std::cout << "\nPer-run summaries:\n";
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    std::cout << "\n-- " << entries[i].first << " --\n";
-    core::print_summary(std::cout, results[i]);
+  for (const auto& point : runs.points) {
+    std::cout << "\n-- " << point.desc.controller << " --\n";
+    core::print_summary(std::cout, point.result);
   }
 
-  SeriesBundle bundle;
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    TimeSeries& s = bundle.series(entries[i].first);
-    for (const auto& p : results[i].devices[0].series.find("P")->points()) {
-      s.record(p.time, p.value);
-    }
-  }
-  write_bundle_csv(bundle, "fig3_network.csv");
+  sweep::write_series_csv(runs, "P", 0, "fig3_network.csv");
   std::cout << "\nwrote fig3_network.csv\n";
+  rt::shutdown_default_pool();
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "ff/core/framefeedback.h"
 #include "ff/rt/thread_pool.h"
+#include "ff/sweep/sweep.h"
 
 int main() {
   using namespace ff;
@@ -37,7 +38,11 @@ int main() {
             << fmt(models::gpu_throughput(spec, scenario.server.batch_limit), 0)
             << " fps; 3 devices add up to 90 req/s on top of the schedule.\n\n";
 
-  const std::vector<std::pair<std::string, core::ControllerFactory>> entries = {
+  sweep::SweepConfig cfg;
+  cfg.name = "fig4_server_load";
+  cfg.base = scenario;
+  cfg.seed_mode = sweep::SeedMode::kScenario;
+  cfg.controllers = {
       {"frame-feedback",
        core::make_controller_factory<control::FrameFeedbackController>()},
       {"local-only",
@@ -47,42 +52,40 @@ int main() {
       {"all-or-nothing",
        core::make_controller_factory<control::IntervalOffloadController>()},
   };
-
-  const auto results = rt::parallel_map(entries.size(), [&](std::size_t i) {
-    return core::run_experiment(scenario, entries[i].second);
-  });
+  const sweep::SweepResult runs = sweep::run(cfg);
 
   std::vector<const core::ExperimentResult*> ptrs;
-  for (const auto& r : results) ptrs.push_back(&r);
+  for (const auto& point : runs.points) ptrs.push_back(&point.result);
   core::plot_runs(std::cout,
                   "Total inference throughput P (fps), device pi4b_r14", ptrs,
                   "P", 0, 32.0);
 
+  const auto& ff_device = runs.points[0].result.devices[0];
   std::cout << "\nFrameFeedback offload target Po (device pi4b_r14):\n  "
-            << sparkline(*results[0].devices[0].series.find("Po_target"))
+            << sparkline(*ff_device.series.find("Po_target"))
             << "\nload timeouts Tl (/s):\n  "
-            << sparkline(*results[0].devices[0].series.find("Tl")) << "\n";
+            << sparkline(*ff_device.series.find("Tl")) << "\n";
 
   std::cout << "\nMean P (fps) per load phase (3 s settle):\n";
   std::vector<std::string> names;
   std::vector<std::vector<core::PhaseStat>> stats;
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    names.push_back(entries[i].first);
-    stats.push_back(core::phase_means(*results[i].devices[0].series.find("P"),
-                                      scenario.background_load,
-                                      results[i].duration));
+  for (const auto& point : runs.points) {
+    names.push_back(point.desc.controller);
+    stats.push_back(
+        core::phase_means(*point.result.devices[0].series.find("P"),
+                          scenario.background_load, point.result.duration));
   }
   core::print_phase_comparison(std::cout, names, stats);
 
   // §II-A CPU utilization claim.
-  const double cpu_local = results[1]
-                               .devices[0]
+  const double cpu_local = runs.points[1]
+                               .result.devices[0]
                                .series.find("cpu")
                                ->mean_between(10 * kSecond, 100 * kSecond);
   // Fully-offloading reference: the always-offload run during the no-load
   // tail, where every frame ships and none run locally.
   const double cpu_offload =
-      results[2].devices[0].series.find("cpu")->mean_between(
+      runs.points[2].result.devices[0].series.find("cpu")->mean_between(
           110 * kSecond, 130 * kSecond);
   std::cout << "\nCPU utilization check (paper SII-A: 50.2% local -> 22.3% "
                "offloading):\n"
@@ -91,19 +94,13 @@ int main() {
             << "%\n";
 
   std::cout << "\nPer-run summaries:\n";
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    std::cout << "\n-- " << entries[i].first << " --\n";
-    core::print_summary(std::cout, results[i]);
+  for (const auto& point : runs.points) {
+    std::cout << "\n-- " << point.desc.controller << " --\n";
+    core::print_summary(std::cout, point.result);
   }
 
-  SeriesBundle bundle;
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    TimeSeries& s = bundle.series(entries[i].first);
-    for (const auto& p : results[i].devices[0].series.find("P")->points()) {
-      s.record(p.time, p.value);
-    }
-  }
-  write_bundle_csv(bundle, "fig4_server_load.csv");
+  sweep::write_series_csv(runs, "P", 0, "fig4_server_load.csv");
   std::cout << "\nwrote fig4_server_load.csv\n";
+  rt::shutdown_default_pool();
   return 0;
 }

@@ -25,7 +25,8 @@ void BM_EventQueueScheduleDrain(benchmark::State& state) {
       benchmark::DoNotOptimize(q.pop());
     }
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EventQueueScheduleDrain)->Range(1 << 8, 1 << 16);
 

@@ -23,7 +23,6 @@
 #include "ff/core/networked_transport.h"
 #include "ff/core/report.h"
 #include "ff/core/scenario.h"
-#include "ff/core/autotune.h"
 #include "ff/core/scenario_config.h"
 #include "ff/device/edge_device.h"
 #include "ff/models/device_profile.h"

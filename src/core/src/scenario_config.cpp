@@ -44,7 +44,8 @@ Scenario scenario_from_config(const Config& config) {
   Scenario s =
       base_scenario(config.get_string("scenario", "ideal"), config);
 
-  s.seed = static_cast<std::uint64_t>(config.get_int("seed", s.seed));
+  s.seed = static_cast<std::uint64_t>(
+      config.get_int("seed", static_cast<std::int64_t>(s.seed)));
   if (config.has("duration_s")) {
     s.duration = seconds_to_sim(config.get_double("duration_s", 0));
   }

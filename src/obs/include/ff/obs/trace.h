@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <fstream>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -48,6 +49,10 @@ inline constexpr std::string_view kServerComplete = "server.complete";
 inline constexpr std::string_view kServerReject = "server.reject";
 // Controller decisions.
 inline constexpr std::string_view kControlTick = "ctl.tick";
+// Sweep engine lifecycle (ff::sweep).
+inline constexpr std::string_view kSweepStart = "sweep.start";
+inline constexpr std::string_view kSweepPoint = "sweep.point";
+inline constexpr std::string_view kSweepDone = "sweep.done";
 }  // namespace ev
 
 /// One span event. Built inline at the emit site; `type` must be a
@@ -153,6 +158,26 @@ class FanoutTraceSink final : public TraceSink {
 
  private:
   std::vector<TraceSink*> sinks_;
+};
+
+/// Serializes emits into a wrapped sink (not owned). TraceSink
+/// implementations are single-threaded by contract; wrap one in this when
+/// several experiments running on pool workers must share it (the sweep
+/// engine does this for SweepConfig::trace_experiments). Event order
+/// across threads is whatever the mutex arbitration yields; each event is
+/// delivered intact.
+class SynchronizedTraceSink final : public TraceSink {
+ public:
+  explicit SynchronizedTraceSink(TraceSink& inner) : inner_(&inner) {}
+
+  void emit(const TraceEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->emit(event);
+  }
+
+ private:
+  std::mutex mutex_;
+  TraceSink* inner_;
 };
 
 /// In-memory sink retaining every event; for tests.

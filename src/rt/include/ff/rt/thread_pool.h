@@ -47,10 +47,17 @@ class ThreadPool {
 };
 
 /// Process-wide shared pool (hardware_concurrency workers), created on
-/// first use. Lets call sites that fan out repeatedly -- benches sweeping a
-/// grid in a loop -- reuse one set of threads instead of paying pool
-/// construction per sweep.
+/// first use and recreated on the next use after a shutdown. Lets call
+/// sites that fan out repeatedly -- benches sweeping a grid in a loop --
+/// reuse one set of threads instead of paying pool construction per sweep.
 [[nodiscard]] ThreadPool& default_pool();
+
+/// Joins and destroys the shared pool (no-op when it was never created).
+/// For entry points and embedders that must not leak worker threads past
+/// main()/dlclose; the pool comes back on the next default_pool() call.
+/// Outstanding futures must be collected first -- pending tasks still run
+/// during the join, but nothing may submit concurrently with shutdown.
+void shutdown_default_pool();
 
 /// Applies `fn` to every index [0, n) on an existing pool and collects
 /// results in order. `fn(i)` must be independent across i, and must not

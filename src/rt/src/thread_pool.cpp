@@ -1,8 +1,28 @@
 #include "ff/rt/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 
 namespace ff::rt {
+
+namespace {
+
+// Guards creation and teardown of the shared pool. The pool itself lives
+// in a unique_ptr (not a plain function-local static) so embedders that
+// dlclose the library can tear it down deterministically via
+// shutdown_default_pool() instead of leaking worker threads.
+std::mutex& default_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unique_ptr<ThreadPool>& default_pool_slot() {
+  static std::unique_ptr<ThreadPool> slot;
+  return slot;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads)
     : queue_(1 << 16) {
@@ -27,8 +47,15 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& default_pool() {
-  static ThreadPool pool;
-  return pool;
+  const std::lock_guard<std::mutex> lock(default_pool_mutex());
+  auto& slot = default_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void shutdown_default_pool() {
+  const std::lock_guard<std::mutex> lock(default_pool_mutex());
+  default_pool_slot().reset();
 }
 
 }  // namespace ff::rt

@@ -95,6 +95,9 @@ struct MeanCi {
 [[nodiscard]] MeanCi mean_ci(const std::vector<double>& samples,
                              double z = 1.96);
 
+/// Same interval from already-streamed statistics (no retained samples).
+[[nodiscard]] MeanCi mean_ci(const StreamingStats& stats, double z = 1.96);
+
 /// Exponentially weighted moving average.
 class Ewma {
  public:

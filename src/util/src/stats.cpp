@@ -137,15 +137,19 @@ double SampleQuantiles::quantile(double q) const {
 }
 
 MeanCi mean_ci(const std::vector<double>& samples, double z) {
-  MeanCi out;
-  out.n = samples.size();
-  if (samples.empty()) return out;
   StreamingStats s;
   for (const double v : samples) s.add(v);
-  out.mean = s.mean();
-  if (samples.size() > 1) {
-    out.half_width = z * std::sqrt(s.sample_variance() /
-                                   static_cast<double>(samples.size()));
+  return mean_ci(s, z);
+}
+
+MeanCi mean_ci(const StreamingStats& stats, double z) {
+  MeanCi out;
+  out.n = stats.count();
+  if (stats.empty()) return out;
+  out.mean = stats.mean();
+  if (stats.count() > 1) {
+    out.half_width = z * std::sqrt(stats.sample_variance() /
+                                   static_cast<double>(stats.count()));
   }
   return out;
 }

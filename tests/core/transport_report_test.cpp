@@ -117,9 +117,9 @@ TEST(Report, SummaryContainsDevicesAndServer) {
 TEST(Report, PhaseComparisonAlignsColumns) {
   std::vector<std::vector<PhaseStat>> stats(2);
   for (int run = 0; run < 2; ++run) {
-    stats[run].push_back({"phase-x", 0, 10 * kSecond, 11.0 + run, 0.0});
-    stats[run].push_back({"phase-y", 10 * kSecond, 20 * kSecond, 21.0 + run,
-                          0.0});
+    auto& dest = stats[static_cast<std::size_t>(run)];
+    dest.push_back({"phase-x", 0, 10 * kSecond, 11.0 + run, 0.0});
+    dest.push_back({"phase-y", 10 * kSecond, 20 * kSecond, 21.0 + run, 0.0});
   }
   std::ostringstream os;
   print_phase_comparison(os, {"a", "b"}, stats);
@@ -154,7 +154,7 @@ TEST(Report, PlotRunsToleratesMissingSeries) {
 }
 
 TEST(Stats, MeanCiBasics) {
-  EXPECT_EQ(mean_ci({}).n, 0u);
+  EXPECT_EQ(mean_ci(std::vector<double>{}).n, 0u);
   const MeanCi single = mean_ci({5.0});
   EXPECT_DOUBLE_EQ(single.mean, 5.0);
   EXPECT_DOUBLE_EQ(single.half_width, 0.0);

@@ -89,6 +89,38 @@ TEST(DefaultPool, RunsSubmittedWork) {
   EXPECT_EQ(f.get(), 7);
 }
 
+TEST(DefaultPool, ShutdownJoinsAndRecreatesOnNextUse) {
+  ThreadPool& before = default_pool();
+  auto warm = before.submit([] { return 1; });
+  EXPECT_EQ(warm.get(), 1);
+
+  shutdown_default_pool();
+
+  // The pool comes back lazily and still runs work.
+  auto f = default_pool().submit([] { return 5 * 5; });
+  EXPECT_EQ(f.get(), 25);
+  shutdown_default_pool();
+}
+
+TEST(DefaultPool, ShutdownWithoutPriorUseIsANoop) {
+  shutdown_default_pool();
+  shutdown_default_pool();  // idempotent
+  auto f = default_pool().submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+  shutdown_default_pool();
+}
+
+TEST(DefaultPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(default_pool().submit([&] { ++count; }));
+  }
+  shutdown_default_pool();  // close() lets queued tasks drain before join
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
 TEST(ParallelMap, ResultsInOrder) {
   const auto results = parallel_map(20, [](std::size_t i) { return i * i; }, 4);
   ASSERT_EQ(results.size(), 20u);

@@ -1,15 +1,15 @@
-#include "ff/core/autotune.h"
+#include "ff/sweep/autotune.h"
 
 #include <gtest/gtest.h>
 
 #include "ff/core/framefeedback.h"
 
-namespace ff::core {
+namespace ff::sweep {
 namespace {
 
 AutoTuneConfig small_config() {
   AutoTuneConfig c;
-  c.scenario = Scenario::paper_tuning();
+  c.scenario = core::Scenario::paper_tuning();
   c.scenario.seed = 42;
   c.scenario.duration = 45 * kSecond;  // enough for ramp + disturbance
   c.kp_grid = {0.05, 0.2, 0.8};
@@ -79,4 +79,4 @@ TEST(AutoTune, DeterministicAcrossCalls) {
 }
 
 }  // namespace
-}  // namespace ff::core
+}  // namespace ff::sweep

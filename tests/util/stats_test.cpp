@@ -179,6 +179,37 @@ TEST(Ewma, ResetClears) {
   EXPECT_DOUBLE_EQ(e.value(), 2.0);
 }
 
+TEST(MeanCiOverloads, StreamingStatsMatchesVectorForm) {
+  const std::vector<double> samples{10.0, 12.0, 14.0, 9.0, 11.0};
+  StreamingStats s;
+  for (const double v : samples) s.add(v);
+
+  const MeanCi from_vector = mean_ci(samples);
+  const MeanCi from_stats = mean_ci(s);
+  EXPECT_EQ(from_stats.n, from_vector.n);
+  EXPECT_DOUBLE_EQ(from_stats.mean, from_vector.mean);
+  EXPECT_DOUBLE_EQ(from_stats.half_width, from_vector.half_width);
+}
+
+TEST(MeanCiOverloads, StreamingStatsEdgeCases) {
+  StreamingStats empty;
+  EXPECT_EQ(mean_ci(empty).n, 0u);
+  EXPECT_DOUBLE_EQ(mean_ci(empty).half_width, 0.0);
+
+  StreamingStats one;
+  one.add(5.0);
+  const MeanCi single = mean_ci(one);
+  EXPECT_DOUBLE_EQ(single.mean, 5.0);
+  EXPECT_DOUBLE_EQ(single.half_width, 0.0);
+
+  // A custom z widens the interval proportionally.
+  StreamingStats two;
+  two.add(1.0);
+  two.add(3.0);
+  EXPECT_DOUBLE_EQ(mean_ci(two, 2.0).half_width,
+                   2.0 * mean_ci(two, 1.0).half_width);
+}
+
 // Property sweep: P2 approximates exact quantiles across distributions and
 // quantile levels.
 class P2AccuracySweep

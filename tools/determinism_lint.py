@@ -62,6 +62,7 @@ DETERMINISTIC_DIRS = (
     "src/device",
     "src/server",
     "src/rt",
+    "src/sweep",
 )
 SCHEDULING_DIRS = ("src/sim", "src/server", "src/device")
 DISPATCH_DIRS = ("src/sim",)
