@@ -8,15 +8,11 @@
 
 #include "ff/core/framefeedback.h"
 #include "ff/rt/thread_pool.h"
+#include "ff/sweep/sweep.h"
 
 namespace {
 
 using namespace ff;
-
-struct Variant {
-  std::string name;
-  core::ControllerFactory factory;
-};
 
 double accuracy_weighted_p(const core::DeviceResult& d, SimTime end) {
   // Pointwise P * accuracy, averaged over the run.
@@ -31,6 +27,23 @@ double accuracy_weighted_p(const core::DeviceResult& d, SimTime end) {
   return s.mean();
 }
 
+/// One sweep over `controllers` against `base`; points come back in
+/// controller order (single axis-free cross product, replicate 1).
+std::vector<core::ExperimentResult> run_variants(
+    const core::Scenario& base,
+    std::vector<sweep::ControllerVariant> controllers) {
+  sweep::SweepConfig cfg;
+  cfg.name = "ablation_quality";
+  cfg.base = base;
+  cfg.seed_mode = sweep::SeedMode::kScenario;  // keep the paper's seed 42
+  cfg.controllers = std::move(controllers);
+  sweep::SweepResult runs = sweep::run(cfg);
+  std::vector<core::ExperimentResult> results;
+  results.reserve(runs.points.size());
+  for (auto& point : runs.points) results.push_back(std::move(point.result));
+  return results;
+}
+
 }  // namespace
 
 int main() {
@@ -42,35 +55,37 @@ int main() {
   scenario.devices.resize(1);
   scenario.devices[0].frame_limit = 0;
 
-  std::vector<Variant> variants;
-  variants.push_back(
-      {"frame-feedback @ q85 (default)",
-       core::make_controller_factory<control::FrameFeedbackController>()});
-  variants.push_back(
-      {"quality-adapt (ladder 85/70/55/40)",
-       core::make_controller_factory<control::QualityAdaptController>()});
-  // Fixed low quality: the static alternative to adapting.
-  variants.push_back({"frame-feedback @ q55 fixed", [](std::size_t) {
-                        return std::make_unique<
-                            control::FrameFeedbackController>();
-                      }});
+  const std::vector<std::string> names = {
+      "frame-feedback @ q85 (default)",
+      "quality-adapt (ladder 85/70/55/40)",
+      "frame-feedback @ q55 fixed",
+  };
 
-  // The q55 variant needs the scenario's frame spec changed, so run it on
-  // its own scenario copy.
+  // The q55 variant needs the scenario's frame spec changed, so it runs
+  // as its own single-variant sweep on the mutated scenario copy.
   core::Scenario q55_scenario = scenario;
   q55_scenario.devices[0].frame.jpeg_quality = 55;
 
-  const auto results = rt::parallel_map(variants.size(), [&](std::size_t i) {
-    const core::Scenario& s = (i == 2) ? q55_scenario : scenario;
-    return core::run_experiment(s, variants[i].factory);
-  });
+  std::vector<core::ExperimentResult> results = run_variants(
+      scenario,
+      {{names[0],
+        core::make_controller_factory<control::FrameFeedbackController>()},
+       {names[1],
+        core::make_controller_factory<control::QualityAdaptController>()}});
+  {
+    std::vector<core::ExperimentResult> q55 = run_variants(
+        q55_scenario,
+        {{names[2],
+          core::make_controller_factory<control::FrameFeedbackController>()}});
+    results.push_back(std::move(q55.front()));
+  }
 
   TextTable table({"variant", "mean P (fps)", "acc-weighted P", "goodput %",
                    "timeouts", "mean accuracy %"});
-  for (std::size_t i = 0; i < variants.size(); ++i) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
     const auto& d = results[i].devices[0];
     table.add_row(
-        {variants[i].name, fmt(d.mean_throughput(), 2),
+        {names[i], fmt(d.mean_throughput(), 2),
          fmt(accuracy_weighted_p(d, results[i].duration), 2),
          fmt(d.goodput_fraction() * 100, 1),
          std::to_string(d.totals.timeouts()),
@@ -92,5 +107,6 @@ int main() {
                "q55 it trades a sliver of accuracy-weighted throughput for\n"
                "full-quality results whenever the network allows them --\n"
                "without knowing the schedule in advance.\n";
+  rt::shutdown_default_pool();
   return 0;
 }

@@ -1,0 +1,28 @@
+# Self-contained public headers: every header under src/*/include must
+# compile as its own translation unit, included first, with nothing but
+# the module include paths on the command line. ff-lint's header-hygiene
+# rule checks the statically checkable half of that contract (#pragma
+# once, canonical "ff/..." include paths); this target is the compiler's
+# half -- a header relying on a transitive include that goes away fails
+# here, not in whichever user TU happened to expose it.
+
+file(GLOB_RECURSE ff_public_headers CONFIGURE_DEPENDS
+  "${PROJECT_SOURCE_DIR}/src/*/include/ff/*.h")
+
+set(ff_header_smoke_dir "${CMAKE_BINARY_DIR}/header_smoke")
+set(ff_header_smoke_sources "")
+foreach(header IN LISTS ff_public_headers)
+  # src/<mod>/include/ff/<mod>/<name>.h -> the "ff/<mod>/<name>.h" form
+  # user code includes it by.
+  string(REGEX REPLACE ".*/include/(ff/.*)$" "\\1" header_key "${header}")
+  string(REGEX REPLACE "[/.]" "_" tu_name "${header_key}")
+  set(tu "${ff_header_smoke_dir}/${tu_name}.cpp")
+  file(CONFIGURE OUTPUT "${tu}" CONTENT "#include \"${header_key}\"\n")
+  list(APPEND ff_header_smoke_sources "${tu}")
+endforeach()
+
+add_library(ff_header_smoke OBJECT ${ff_header_smoke_sources})
+# Linked only for the include paths; generated TUs define no symbols.
+target_link_libraries(ff_header_smoke PRIVATE
+  ff::util ff::obs ff::sim ff::models ff::net ff::server ff::device
+  ff::control ff::rt ff::core ff::sweep ff_warnings)

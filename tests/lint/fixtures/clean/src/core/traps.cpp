@@ -1,0 +1,17 @@
+// A comment naming std::chrono::steady_clock must not trip the lint,
+// and neither may rand() or malloc() mentioned in prose.
+#include <new>
+#include <unordered_map>
+const char* kDoc = "std::rand(), time(NULL) and new Event are banned";
+const char* kRaw = R"trap(
+  std::chrono::high_resolution_clock::now();
+  srand(42); malloc(16);
+  for (auto& kv : table_) use(kv);
+)trap";
+struct Stamp {
+  double time;
+  explicit Stamp(double t) : time(t) {}
+};
+std::unordered_map<int, int> table_;
+int lookup(int k) { return table_.at(k); }
+void* emplace(void* slot) { return ::new (slot) Stamp(0.0); }

@@ -1,0 +1,6 @@
+#pragma once
+#include <unordered_map>
+struct Cache {
+  int hit(int key) const;
+  std::unordered_map<int, int> entries_;
+};

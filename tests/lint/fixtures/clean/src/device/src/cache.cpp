@@ -1,0 +1,5 @@
+#include "ff/device/cache.h"
+int Cache::hit(int key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second;
+}

@@ -1,0 +1,6 @@
+#include <chrono>
+double pace() {
+  // ff-lint: allow(wall-clock) pacing a real-time replay must read the
+  // machine clock; simulation results never depend on it.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,9 @@
+#include <unordered_map>
+std::unordered_map<int, int> depths_;
+int drain() {
+  int total = 0;
+  // ff-lint: allow(unordered-iteration) order-insensitive sum; result
+  // never feeds the event queue.
+  for (const auto& kv : depths_) total += kv.second;
+  return total;
+}

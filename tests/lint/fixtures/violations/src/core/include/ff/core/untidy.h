@@ -1,0 +1,2 @@
+#include "../experiment_impl.h"
+struct Untidy {};

@@ -1,0 +1,6 @@
+#pragma once
+#include <unordered_map>
+struct PeerTable {
+  double sum() const;
+  std::unordered_map<int, double> peers_;
+};

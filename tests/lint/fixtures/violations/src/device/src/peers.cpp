@@ -1,0 +1,6 @@
+#include "ff/device/peers.h"
+double PeerTable::sum() const {
+  double total = 0.0;
+  for (const auto& kv : peers_) total += kv.second;
+  return total;
+}

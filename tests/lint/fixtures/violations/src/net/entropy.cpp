@@ -1,0 +1,7 @@
+#include <cstdlib>
+#include <random>
+int jitter() { return std::rand(); }
+unsigned seed() {
+  std::random_device rd;
+  return rd();
+}

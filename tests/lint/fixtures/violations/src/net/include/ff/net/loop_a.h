@@ -1,0 +1,3 @@
+#pragma once
+#include "ff/net/loop_b.h"
+struct LoopA {};

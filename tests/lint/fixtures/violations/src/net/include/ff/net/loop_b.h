@@ -1,0 +1,3 @@
+#pragma once
+#include "ff/net/loop_a.h"
+struct LoopB {};

@@ -1,0 +1,6 @@
+#include <unordered_map>
+struct Flow;
+std::unordered_map<
+    Flow*,
+    int>
+    by_flow_;

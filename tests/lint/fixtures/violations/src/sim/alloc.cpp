@@ -1,0 +1,4 @@
+struct Event {
+  int id;
+};
+Event* dispatch() { return new Event{7}; }

@@ -1,0 +1,2 @@
+#include "ff/util/now_macro.h"
+long stamp() { return FF_EPOCH_SECONDS(); }

@@ -1,0 +1,4 @@
+#include <chrono>
+double wall_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,3 @@
+#pragma once
+#include <ctime>
+#define FF_EPOCH_SECONDS() static_cast<long>(time(nullptr))

@@ -1,0 +1,119 @@
+#include "ff/lint/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ff::lint {
+namespace {
+
+std::vector<std::string> idents(const LexedFile& lf) {
+  std::vector<std::string> out;
+  for (const Token& t : lf.tokens) {
+    if (t.kind == TokKind::kIdentifier) out.push_back(t.text);
+  }
+  return out;
+}
+
+TEST(Lexer, CommentsAreInvisible) {
+  const LexedFile lf = lex(
+      "// steady_clock here\n"
+      "/* and rand() in a block\n"
+      "   spanning lines */\n"
+      "int x;\n");
+  EXPECT_EQ(idents(lf), (std::vector<std::string>{"int", "x"}));
+}
+
+TEST(Lexer, StringAndCharLiteralsCollapse) {
+  const LexedFile lf = lex(
+      "const char* s = \"std::rand() \\\" escaped\";\n"
+      "char c = 'r';\n"
+      "const wchar_t* w = L\"time(NULL)\";\n");
+  for (const Token& t : lf.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "time");
+  }
+}
+
+TEST(Lexer, RawStringsSpanLinesWithoutLeaking) {
+  const LexedFile lf = lex(
+      "const char* r = R\"doc(\n"
+      "  std::chrono::steady_clock::now();\n"
+      "  \"inner quote\" and )mismatched(\n"
+      ")doc\";\n"
+      "int after;\n");
+  EXPECT_EQ(idents(lf),
+            (std::vector<std::string>{"const", "char", "r", "int", "after"}));
+  // The token after the literal carries the physical line it sits on.
+  EXPECT_EQ(lf.tokens.back().line, 5);
+}
+
+TEST(Lexer, LineSplicesFoldButKeepLineNumbers) {
+  const LexedFile lf = lex("int a\\\n  b;\nint c;\n");
+  ASSERT_GE(lf.tokens.size(), 4u);
+  EXPECT_EQ(lf.tokens[1].text, "a");
+  EXPECT_EQ(lf.tokens[2].text, "b");
+  EXPECT_EQ(lf.tokens[2].line, 2);
+}
+
+TEST(Lexer, IncludeDirectives) {
+  const LexedFile lf = lex(
+      "#include <chrono>\n"
+      "#include \"ff/sim/simulator.h\"\n"
+      "// #include \"ff/not/this.h\"\n");
+  ASSERT_EQ(lf.includes.size(), 2u);
+  EXPECT_TRUE(lf.includes[0].angled);
+  EXPECT_EQ(lf.includes[0].path, "chrono");
+  EXPECT_FALSE(lf.includes[1].angled);
+  EXPECT_EQ(lf.includes[1].path, "ff/sim/simulator.h");
+  EXPECT_EQ(lf.includes[1].line, 2);
+}
+
+TEST(Lexer, PragmaOnce) {
+  EXPECT_TRUE(lex("#pragma once\nint x;\n").pragma_once);
+  EXPECT_FALSE(lex("#pragma pack(1)\nint x;\n").pragma_once);
+}
+
+TEST(Lexer, ObjectAndFunctionLikeMacros) {
+  const LexedFile lf = lex(
+      "#define KILO 1000\n"
+      "#define SQUARE(x) ((x) * (x))\n"
+      "#define NOW() \\\n"
+      "  std::chrono::steady_clock::now()\n");
+  ASSERT_EQ(lf.macros.size(), 3u);
+  EXPECT_EQ(lf.macros[0].name, "KILO");
+  EXPECT_FALSE(lf.macros[0].function_like);
+  ASSERT_EQ(lf.macros[0].body.size(), 1u);
+  EXPECT_EQ(lf.macros[0].body[0].kind, TokKind::kNumber);
+  EXPECT_TRUE(lf.macros[1].function_like);
+  // Spliced body is lexed: the banned identifier is visible as a token.
+  bool found = false;
+  for (const Token& t : lf.macros[2].body) found |= t.text == "steady_clock";
+  EXPECT_TRUE(found);
+  // Directive tokens never leak into the code stream.
+  EXPECT_TRUE(lf.tokens.empty());
+}
+
+TEST(Lexer, NumbersWithSeparatorsAndExponents) {
+  const LexedFile lf = lex("double d = 1'000'000.5e-3 + 0x1Fp+2;\n");
+  std::vector<std::string> nums;
+  for (const Token& t : lf.tokens) {
+    if (t.kind == TokKind::kNumber) nums.push_back(t.text);
+  }
+  EXPECT_EQ(nums, (std::vector<std::string>{"1000000.5e-3", "0x1Fp+2"}));
+}
+
+TEST(Lexer, PunctuationUnits) {
+  const LexedFile lf = lex("a->b; std::x; c >> d;\n");
+  std::vector<std::string> puncts;
+  for (const Token& t : lf.tokens) {
+    if (t.kind == TokKind::kPunct) puncts.push_back(t.text);
+  }
+  // "->" and "::" fuse; ">>" stays two tokens for bracket balancing.
+  EXPECT_EQ(puncts, (std::vector<std::string>{"->", ";", "::", ";", ">",
+                                              ">", ";"}));
+}
+
+}  // namespace
+}  // namespace ff::lint

@@ -1,0 +1,297 @@
+// ff-lint rule engine tests: in-memory single-rule checks, the on-disk
+// fixture corpus under tests/lint/fixtures (driven both through the
+// library and by invoking the real CLI binary), and the embedded
+// self-test corpus.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ff/lint/driver.h"
+#include "ff/lint/graph.h"
+
+namespace ff::lint {
+namespace {
+
+using FileRule = std::pair<std::string, std::string>;
+
+std::set<FileRule> rules_of(const LintResult& r) {
+  std::set<FileRule> out;
+  for (const Finding& f : r.findings) out.insert({f.file, f.rule});
+  return out;
+}
+
+LintResult lint_one(const std::string& rel, const std::string& content) {
+  return lint_files({{rel, content}});
+}
+
+// ---------------------------------------------------------------------
+// Determinism rules, in memory.
+
+TEST(Rules, WallClockInDeterministicDirs) {
+  const auto r = lint_one("src/control/src/x.cpp",
+                          "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(rules_of(r),
+            (std::set<FileRule>{{"src/control/src/x.cpp", "wall-clock"}}));
+  // Same content outside the deterministic directories: clean.
+  EXPECT_TRUE(lint_one("src/util/src/x.cpp",
+                       "auto t = std::chrono::steady_clock::now();\n")
+                  .findings.empty());
+}
+
+TEST(Rules, AmbientEntropyMemberCallsExcluded) {
+  // rng.rand() is a member call on the seeded generator, not ::rand.
+  EXPECT_TRUE(
+      lint_one("src/core/src/x.cpp", "int a = rng.rand();\n")
+          .findings.empty());
+  EXPECT_TRUE(
+      lint_one("src/core/src/x.cpp", "int a = my::ns::rand();\n")
+          .findings.empty());
+  EXPECT_FALSE(
+      lint_one("src/core/src/x.cpp", "int a = std::rand();\n")
+          .findings.empty());
+  EXPECT_FALSE(
+      lint_one("src/core/src/x.cpp", "long t = time(nullptr);\n")
+          .findings.empty());
+  // A member named time is fine.
+  EXPECT_TRUE(
+      lint_one("src/core/src/x.cpp",
+               "struct S { double time; S(double t) : time(t) {} };\n")
+          .findings.empty());
+}
+
+TEST(Rules, PointerKeyAcrossLinesAndNestedTemplates) {
+  const auto r = lint_one("src/net/src/x.cpp",
+                          "#include <unordered_map>\n"
+                          "std::unordered_map<\n"
+                          "    const Flow*,\n"
+                          "    std::vector<int>>\n"
+                          "    m_;\n");
+  EXPECT_EQ(rules_of(r), (std::set<FileRule>{
+                             {"src/net/src/x.cpp", "unordered-pointer-key"}}));
+  // Pointer in the mapped type (not the key) is fine.
+  EXPECT_TRUE(lint_one("src/net/src/x.cpp",
+                       "std::unordered_map<int, Flow*> m_;\n")
+                  .findings.empty());
+}
+
+TEST(Rules, UnorderedIterationSameFileAndAllow) {
+  const std::string decl = "std::unordered_map<int, int> q_;\n";
+  EXPECT_FALSE(lint_one("src/server/src/x.cpp",
+                        decl + "int f() { int s = 0;\n"
+                               "for (auto& kv : q_) s += kv.second;\n"
+                               "return s; }\n")
+                   .findings.empty());
+  EXPECT_TRUE(lint_one("src/server/src/x.cpp",
+                       decl + "int f() { int s = 0;\n"
+                              "// ff-lint: allow(unordered-iteration) sum\n"
+                              "for (auto& kv : q_) s += kv.second;\n"
+                              "return s; }\n")
+                  .findings.empty());
+  // Outside the scheduling directories the rule does not apply.
+  EXPECT_TRUE(lint_one("src/net/src/x.cpp",
+                       decl + "int f() { int s = 0;\n"
+                              "for (auto& kv : q_) s += kv.second;\n"
+                              "return s; }\n")
+                  .findings.empty());
+}
+
+TEST(Rules, CrossFileUnorderedIteration) {
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"src/device/include/ff/device/t.h",
+       "#pragma once\n#include <unordered_map>\n"
+       "struct T { int f() const; std::unordered_map<int, int> m_; };\n"},
+      {"src/device/src/t.cpp",
+       "#include \"ff/device/t.h\"\n"
+       "int T::f() const { int s = 0;\n"
+       "for (auto& kv : m_) s += kv.second;\n"
+       "return s; }\n"},
+  };
+  EXPECT_EQ(rules_of(lint_files(files)),
+            (std::set<FileRule>{
+                {"src/device/src/t.cpp", "unordered-iteration"}}));
+}
+
+TEST(Rules, MacroExpansionCarriesHazard) {
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"src/util/include/ff/util/m.h",
+       "#pragma once\n#include <chrono>\n"
+       "#define FF_NOW_NS() "
+       "std::chrono::steady_clock::now().time_since_epoch().count()\n"},
+      {"src/sim/src/u.cpp",
+       "#include \"ff/util/m.h\"\nlong f() { return FF_NOW_NS(); }\n"},
+  };
+  EXPECT_EQ(rules_of(lint_files(files)),
+            (std::set<FileRule>{{"src/sim/src/u.cpp", "wall-clock"}}));
+}
+
+TEST(Rules, HazardousMacroBodyFlaggedAtDefinition) {
+  const auto r = lint_one(
+      "src/sim/src/m.cpp",
+      "#include <cstdlib>\n#define JITTER() (rand() % 7)\nint x;\n");
+  EXPECT_EQ(rules_of(r),
+            (std::set<FileRule>{{"src/sim/src/m.cpp", "ambient-entropy"}}));
+}
+
+TEST(Rules, RawAllocationOnlyInDispatchDirs) {
+  EXPECT_FALSE(
+      lint_one("src/sim/src/x.cpp", "int* p = new int[4];\n")
+          .findings.empty());
+  EXPECT_TRUE(
+      lint_one("src/server/src/x.cpp", "int* p = new int[4];\n")
+          .findings.empty());
+  // Placement new is not an allocation.
+  EXPECT_TRUE(
+      lint_one("src/sim/src/x.cpp",
+               "void* f(void* s) { return ::new (s) int(0); }\n")
+          .findings.empty());
+}
+
+TEST(Rules, FalsePositiveTraps) {
+  // Comments, strings and raw strings full of banned constructs.
+  const auto r = lint_one(
+      "src/sim/src/x.cpp",
+      "// std::chrono::system_clock::now() in prose\n"
+      "const char* a = \"rand() time(NULL) malloc(4) new Event\";\n"
+      "const char* b = R\"x(\nsteady_clock rand( new Q{}\n)x\";\n");
+  EXPECT_TRUE(r.findings.empty()) << r.findings.front().message;
+}
+
+// ---------------------------------------------------------------------
+// Architecture rules, in memory.
+
+TEST(Architecture, LayeringMatrixIsAcyclicAndComplete) {
+  const auto& layers = layering();
+  for (const auto& [mod, deps] : layers) {
+    for (const std::string& dep : deps) {
+      ASSERT_TRUE(layers.count(dep) > 0) << mod << " -> " << dep;
+      // DAG: a dependency may never (transitively, via the closure
+      // property of the matrix) include its dependent.
+      EXPECT_EQ(layers.at(dep).count(mod), 0u) << mod << " <-> " << dep;
+    }
+  }
+}
+
+TEST(Architecture, LayeringViolationAndAllow) {
+  EXPECT_EQ(
+      rules_of(lint_one("src/sim/src/x.cpp",
+                        "#include \"ff/core/experiment.h\"\n")),
+      (std::set<FileRule>{{"src/sim/src/x.cpp", "layering"}}));
+  EXPECT_TRUE(
+      lint_one("src/sim/src/x.cpp",
+               "// ff-lint: allow(layering) documented bootstrap shim\n"
+               "#include \"ff/core/experiment.h\"\n")
+          .findings.empty());
+}
+
+TEST(Architecture, UnknownModuleIsReported) {
+  const auto r = lint_one("src/newmod/src/x.cpp",
+                          "#include \"ff/util/rng.h\"\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "layering");
+}
+
+TEST(Architecture, HeaderHygiene) {
+  EXPECT_EQ(rules_of(lint_one("src/net/include/ff/net/h.h",
+                              "#pragma once\n#include \"link_impl.h\"\n")),
+            (std::set<FileRule>{
+                {"src/net/include/ff/net/h.h", "header-hygiene"}}));
+  EXPECT_EQ(rules_of(lint_one("src/net/include/ff/net/h.h",
+                              "#include <vector>\nstruct H {};\n")),
+            (std::set<FileRule>{
+                {"src/net/include/ff/net/h.h", "header-hygiene"}}));
+  EXPECT_TRUE(lint_one("src/net/include/ff/net/h.h",
+                       "#pragma once\n#include <vector>\n"
+                       "#include \"ff/util/rng.h\"\nstruct H {};\n")
+                  .findings.empty());
+}
+
+TEST(Architecture, ThreeHeaderCycleReportedOnce) {
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"src/net/include/ff/net/a.h",
+       "#pragma once\n#include \"ff/net/b.h\"\n"},
+      {"src/net/include/ff/net/b.h",
+       "#pragma once\n#include \"ff/net/c.h\"\n"},
+      {"src/net/include/ff/net/c.h",
+       "#pragma once\n#include \"ff/net/a.h\"\n"},
+  };
+  const LintResult r = lint_files(files);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "include-cycle");
+  EXPECT_NE(r.findings[0].message.find("ff/net/a.h -> ff/net/b.h -> "
+                                       "ff/net/c.h -> ff/net/a.h"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Fixture corpus on disk + the embedded self-test corpus.
+
+TEST(Fixtures, ViolationTreeFindsExactlyTheSeededRules) {
+  const LintResult r = lint_tree(std::string(FF_LINT_FIXTURES) +
+                                 "/violations");
+  const std::set<FileRule> expected = {
+      {"src/core/include/ff/core/untidy.h", "header-hygiene"},
+      {"src/device/src/peers.cpp", "unordered-iteration"},
+      {"src/net/entropy.cpp", "ambient-entropy"},
+      {"src/net/include/ff/net/loop_b.h", "include-cycle"},
+      {"src/server/ptr_key.cpp", "unordered-pointer-key"},
+      {"src/sim/alloc.cpp", "raw-allocation"},
+      {"src/sim/macro_wall.cpp", "ambient-entropy"},
+      {"src/sim/wall_clock.cpp", "wall-clock"},
+      {"src/util/src/layer_up.cpp", "layering"},
+  };
+  EXPECT_EQ(rules_of(r), expected);
+}
+
+TEST(Fixtures, CleanTreeIsClean) {
+  const LintResult r = lint_tree(std::string(FF_LINT_FIXTURES) + "/clean");
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings.front().file << ": " << r.findings.front().message;
+  EXPECT_EQ(r.files_scanned, 6u);
+}
+
+TEST(SelfTest, EmbeddedCorpusPasses) {
+  testing::internal::CaptureStdout();
+  const int rc = self_test(std::cout);
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("self-test: OK"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// The CLI binary itself, end to end.
+
+int run_cli(const std::string& args) {
+  const std::string cmd =
+      std::string(FF_LINT_BIN) + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());  // NOLINT
+  return status < 0 ? status : WEXITSTATUS(status);
+}
+
+TEST(Cli, SelfTestExitsZero) { EXPECT_EQ(run_cli("--self-test"), 0); }
+
+TEST(Cli, ViolationFixtureExitsOne) {
+  EXPECT_EQ(run_cli("--root " + std::string(FF_LINT_FIXTURES) +
+                    "/violations"),
+            1);
+}
+
+TEST(Cli, CleanFixtureExitsZero) {
+  EXPECT_EQ(run_cli("--root " + std::string(FF_LINT_FIXTURES) + "/clean"),
+            0);
+}
+
+TEST(Cli, MissingTreeExitsTwo) {
+  EXPECT_EQ(run_cli("--root /nonexistent-ff-lint-root"), 2);
+}
+
+TEST(Cli, UnknownFlagExitsTwo) { EXPECT_EQ(run_cli("--bogus"), 2); }
+
+}  // namespace
+}  // namespace ff::lint

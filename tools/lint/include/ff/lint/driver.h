@@ -1,0 +1,44 @@
+#pragma once
+
+// ff-lint driver: loads the source tree (from disk or from in-memory
+// fixtures), runs the determinism and architecture rule families, and
+// hosts the embedded self-test corpus that seeds at least one violation
+// per rule -- including the macro-wrapped and cross-file cases the
+// retired regex linter (tools/determinism_lint.py) provably missed.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ff/lint/rules.h"
+
+namespace ff::lint {
+
+struct LintResult {
+  std::vector<Finding> findings;
+  std::size_t files_scanned{0};
+};
+
+/// Lints an in-memory tree of (repo-relative path, content) pairs.
+[[nodiscard]] LintResult lint_files(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+/// Lints `<root>/src` on disk. Throws std::runtime_error if the root has
+/// no src/ directory.
+[[nodiscard]] LintResult lint_tree(const std::string& root);
+
+/// Embedded fixture corpus, reused by --self-test and tests/lint.
+[[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+self_test_corpus();
+
+/// (file, rule) pairs the corpus must produce -- exactly.
+[[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+self_test_expected();
+
+/// Runs the corpus through the linter and reports PASS/FAIL per expected
+/// finding plus any false positives. Returns 0 on success.
+int self_test(std::ostream& os);
+
+}  // namespace ff::lint

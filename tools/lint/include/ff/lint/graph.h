@@ -1,0 +1,38 @@
+#pragma once
+
+// Architecture rules for ff-lint: the include graph of src/ must match
+// the module layering DAG documented in DESIGN.md (which mirrors the
+// CMake link graph -- a module may include headers only of modules it
+// transitively links), contain no include cycles among public headers,
+// and every public header must be hygienic (a #pragma once guard and
+// canonical "ff/<module>/<name>.h" include paths only, so the
+// self-contained-header compile smoke and this rule agree on what a
+// public header may depend on).
+//
+// Rules:
+//   layering        include edge src/<a> -> ff/<b>/... not permitted by
+//                   the layering DAG
+//   include-cycle   cycle in the public-header include graph
+//   header-hygiene  public header without #pragma once, or with a
+//                   non-canonical (relative / angled-ff) include
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ff/lint/rules.h"
+#include "ff/lint/tree.h"
+
+namespace ff::lint {
+
+/// Module layering DAG: for each module, the set of other modules whose
+/// headers it may include (its own are always permitted). Transitive
+/// closure of the CMake link graph; see DESIGN.md section 6.
+[[nodiscard]] const std::map<std::string, std::set<std::string>>& layering();
+
+/// Runs layering, include-cycle and header-hygiene over the whole tree.
+/// allow() directives are already applied; returned findings are real.
+[[nodiscard]] std::vector<Finding> check_architecture(const SourceTree& tree);
+
+}  // namespace ff::lint

@@ -1,0 +1,60 @@
+#pragma once
+
+// Token-level C++ lexer for ff-lint. Replaces the retired regex linter's
+// line-oriented matching with a real scanner: comments (line and block),
+// string/char literals (including encoding prefixes and raw strings),
+// numeric literals with digit separators, and line splices are all
+// recognized, so prose in comments or literals can never trip a rule and
+// constructs split across physical lines cannot hide from one. The lexer
+// also understands just enough of the preprocessor to feed the rest of
+// the toolkit: #include directives (for the include graph), #define
+// directives with their bodies lexed into tokens (for the macro table),
+// and #pragma once (for the header hygiene rule).
+
+#include <string>
+#include <vector>
+
+namespace ff::lint {
+
+enum class TokKind {
+  kIdentifier,  ///< identifiers and keywords
+  kNumber,      ///< numeric literal (text preserved)
+  kString,      ///< any string literal, text collapsed to "<str>"
+  kChar,        ///< any character literal, text collapsed to "<chr>"
+  kPunct,       ///< one punctuator; "::" and "->" are single tokens
+};
+
+struct Token {
+  TokKind kind{TokKind::kPunct};
+  std::string text;
+  int line{1};
+};
+
+/// One #include directive, as written.
+struct IncludeDirective {
+  std::string path;
+  bool angled{false};
+  int line{1};
+};
+
+/// One #define directive; the replacement list is lexed like code.
+struct MacroDef {
+  std::string name;
+  bool function_like{false};
+  std::vector<Token> body;
+  int line{1};
+};
+
+/// Result of lexing one file. `tokens` is the translation unit's code
+/// token stream with all preprocessor directives removed; directives
+/// ff-lint cares about are surfaced in structured form alongside it.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<MacroDef> macros;
+  bool pragma_once{false};
+};
+
+[[nodiscard]] LexedFile lex(const std::string& text);
+
+}  // namespace ff::lint

@@ -1,0 +1,71 @@
+#pragma once
+
+// Source tree model for ff-lint: every C++ file under src/, lexed once,
+// with its module identity (src/<module>/...), public-header key
+// ("ff/<module>/<name>.h" for headers under src/<module>/include/), raw
+// lines (for `// ff-lint: allow(rule)` directives, which live in
+// comments and are therefore invisible to the token stream), and the
+// cross-file indexes the rules consult: a macro table spanning the whole
+// tree and the set of unordered-container declarations per file.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ff/lint/lexer.h"
+
+namespace ff::lint {
+
+struct SourceFile {
+  std::string rel;         ///< repo-relative path, '/'-separated
+  std::string module;      ///< "sim", "util", ... ("" outside src/<mod>)
+  bool public_header{false};
+  std::string header_key;  ///< "ff/<mod>/<name>.h" for public headers
+  std::vector<std::string> lines;
+  LexedFile lex;
+  /// Names declared in this file as unordered_{map,set} variables.
+  std::set<std::string> unordered_decls;
+};
+
+/// Module named by a path of the form src/<module>/..., else "".
+[[nodiscard]] std::string module_of(const std::string& rel);
+
+/// Rules allowed on line `line` (1-based) by `// ff-lint: allow(rule)`
+/// directives on that line or in the contiguous //-comment block
+/// directly above it.
+[[nodiscard]] std::set<std::string> allowed_rules(
+    const std::vector<std::string>& lines, int line);
+
+class SourceTree {
+ public:
+  /// Builds the tree from (repo-relative path, file content) pairs.
+  explicit SourceTree(
+      const std::vector<std::pair<std::string, std::string>>& files);
+
+  [[nodiscard]] const std::vector<SourceFile>& files() const {
+    return files_;
+  }
+
+  /// Resolves an include path ("ff/<mod>/<name>.h") to the file that
+  /// provides it, or nullptr.
+  [[nodiscard]] const SourceFile* resolve(const std::string& path) const;
+
+  /// The macro with the given name, or nullptr. With multiple
+  /// definitions the first one wins (redefinitions across the tree are
+  /// assumed equivalent for linting purposes).
+  [[nodiscard]] const MacroDef* macro(const std::string& name) const;
+
+  /// Union of unordered-container declaration names visible to `file`:
+  /// its own plus those of every header in its (transitive) ff include
+  /// closure.
+  [[nodiscard]] std::set<std::string> visible_unordered_decls(
+      const SourceFile& file) const;
+
+ private:
+  std::vector<SourceFile> files_;
+  std::map<std::string, std::size_t> by_header_key_;
+  std::map<std::string, MacroDef> macros_;
+};
+
+}  // namespace ff::lint

@@ -1,0 +1,61 @@
+#include "ff/lint/driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ff/lint/graph.h"
+#include "ff/lint/tree.h"
+
+namespace ff::lint {
+namespace {
+
+bool lintable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("ff-lint: cannot read " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+LintResult lint_files(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  const SourceTree tree(files);
+  LintResult result;
+  result.files_scanned = tree.files().size();
+  for (const SourceFile& file : tree.files()) {
+    const std::vector<Finding> det = check_determinism(tree, file);
+    result.findings.insert(result.findings.end(), det.begin(), det.end());
+  }
+  const std::vector<Finding> arch = check_architecture(tree);
+  result.findings.insert(result.findings.end(), arch.begin(), arch.end());
+  std::sort(result.findings.begin(), result.findings.end());
+  return result;
+}
+
+LintResult lint_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  const fs::path src = fs::path(root) / "src";
+  if (!fs::is_directory(src)) {
+    throw std::runtime_error("ff-lint: no src/ directory under " + root);
+  }
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+    const std::string rel =
+        fs::relative(entry.path(), fs::path(root)).generic_string();
+    files.emplace_back(rel, slurp(entry.path()));
+  }
+  return lint_files(files);
+}
+
+}  // namespace ff::lint

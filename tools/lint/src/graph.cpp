@@ -1,0 +1,169 @@
+#include "ff/lint/graph.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace ff::lint {
+namespace {
+
+bool is_ff_path(const std::string& path) {
+  return path.compare(0, 3, "ff/") == 0;
+}
+
+/// Module component of "ff/<module>/<name>.h", or "".
+std::string ff_module(const std::string& path) {
+  if (!is_ff_path(path)) return "";
+  const std::size_t end = path.find('/', 3);
+  if (end == std::string::npos) return "";
+  return path.substr(3, end - 3);
+}
+
+void add_finding(const SourceFile& file, int line, const char* rule,
+                 std::string message, std::vector<Finding>* out) {
+  if (allowed_rules(file.lines, line).count(rule) > 0) return;
+  out->push_back({file.rel, line, rule, std::move(message)});
+}
+
+/// Depth-first cycle search over the public-header include graph. Each
+/// distinct cycle is reported once, canonicalized by rotating its
+/// smallest header key to the front.
+class CycleFinder {
+ public:
+  CycleFinder(const SourceTree& tree, std::vector<Finding>* out)
+      : tree_(tree), out_(out) {}
+
+  void run() {
+    for (const SourceFile& f : tree_.files()) {
+      if (f.public_header) visit(f);
+    }
+  }
+
+ private:
+  void visit(const SourceFile& file) {
+    if (done_.count(file.header_key) > 0) return;
+    const auto on_stack = std::find(stack_.begin(), stack_.end(), &file);
+    if (on_stack != stack_.end()) {
+      report(on_stack);
+      return;
+    }
+    stack_.push_back(&file);
+    for (const IncludeDirective& inc : file.lex.includes) {
+      const SourceFile* next = tree_.resolve(inc.path);
+      if (next != nullptr && next->public_header) visit(*next);
+    }
+    stack_.pop_back();
+    done_.insert(file.header_key);
+  }
+
+  void report(std::vector<const SourceFile*>::iterator begin) {
+    std::vector<const SourceFile*> cycle(begin, stack_.end());
+    const auto smallest = std::min_element(
+        cycle.begin(), cycle.end(), [](const SourceFile* a,
+                                       const SourceFile* b) {
+          return a->header_key < b->header_key;
+        });
+    std::rotate(cycle.begin(), smallest, cycle.end());
+    std::string path;
+    for (const SourceFile* f : cycle) path += f->header_key + " -> ";
+    path += cycle.front()->header_key;
+    if (!seen_.insert(path).second) return;
+    // Anchor the finding at the include that closes the cycle.
+    const SourceFile& tail = *cycle.back();
+    int line = 1;
+    for (const IncludeDirective& inc : tail.lex.includes) {
+      if (inc.path == cycle.front()->header_key) line = inc.line;
+    }
+    add_finding(tail, line, "include-cycle",
+                "public-header include cycle: " + path, out_);
+  }
+
+  const SourceTree& tree_;
+  std::vector<Finding>* out_;
+  std::vector<const SourceFile*> stack_;
+  std::set<std::string> done_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace
+
+const std::map<std::string, std::set<std::string>>& layering() {
+  // Transitive closure of the PUBLIC link graph in src/*/CMakeLists.txt.
+  // A module new to the tree must be added here AND to DESIGN.md; the
+  // unknown-module finding below makes that impossible to forget.
+  static const std::map<std::string, std::set<std::string>> kLayers = {
+      {"util", {}},
+      {"obs", {"util"}},
+      {"sim", {"util"}},
+      {"models", {"util"}},
+      {"rt", {"sim", "util"}},
+      {"net", {"sim", "obs", "util"}},
+      {"server", {"sim", "models", "obs", "util"}},
+      {"control", {"server", "sim", "models", "obs", "util"}},
+      {"device", {"control", "server", "sim", "models", "obs", "util"}},
+      {"core",
+       {"device", "server", "net", "control", "models", "sim", "rt", "obs",
+        "util"}},
+      {"sweep",
+       {"core", "device", "server", "net", "control", "models", "sim", "rt",
+        "obs", "util"}},
+  };
+  return kLayers;
+}
+
+std::vector<Finding> check_architecture(const SourceTree& tree) {
+  std::vector<Finding> out;
+  const auto& layers = layering();
+
+  for (const SourceFile& file : tree.files()) {
+    if (file.module.empty()) continue;
+    const auto own = layers.find(file.module);
+
+    for (const IncludeDirective& inc : file.lex.includes) {
+      const std::string target = ff_module(inc.path);
+
+      if (!target.empty()) {
+        if (own == layers.end()) {
+          add_finding(file, inc.line, "layering",
+                      "module 'src/" + file.module +
+                          "' is not in the DESIGN.md layering DAG; add it "
+                          "to ff::lint::layering() and DESIGN.md section 6",
+                      &out);
+        } else if (target != file.module &&
+                   own->second.count(target) == 0) {
+          add_finding(
+              file, inc.line, "layering",
+              "src/" + file.module + " may not include \"" + inc.path +
+                  "\": the layering DAG (DESIGN.md section 6) does not "
+                  "permit " +
+                  file.module + " -> " + target,
+              &out);
+        }
+        if (file.public_header && inc.angled) {
+          add_finding(file, inc.line, "header-hygiene",
+                      "ff headers must be included as \"" + inc.path +
+                          "\", not <" + inc.path + ">",
+                      &out);
+        }
+      } else if (file.public_header && !inc.angled) {
+        add_finding(file, inc.line, "header-hygiene",
+                    "non-canonical include \"" + inc.path +
+                        "\": public headers may include only other public "
+                        "\"ff/...\" headers and system <...> headers",
+                    &out);
+      }
+    }
+
+    if (file.public_header && !file.lex.pragma_once) {
+      add_finding(file, 1, "header-hygiene",
+                  "public header is missing #pragma once", &out);
+    }
+  }
+
+  CycleFinder(tree, &out).run();
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace ff::lint

@@ -1,0 +1,299 @@
+#include "ff/lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace ff::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Cleaned source: line splices (backslash-newline) removed, with a
+/// physical line number preserved per remaining character so tokens can
+/// report accurate locations.
+struct Cleaned {
+  std::string text;
+  std::vector<int> line;
+};
+
+Cleaned splice_lines(const std::string& in) {
+  Cleaned out;
+  out.text.reserve(in.size());
+  out.line.reserve(in.size());
+  int line = 1;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '\\') {
+      std::size_t j = i + 1;
+      if (j < in.size() && in[j] == '\r') ++j;
+      if (j < in.size() && in[j] == '\n') {
+        ++line;
+        i = j;
+        continue;
+      }
+    }
+    out.text.push_back(in[i]);
+    out.line.push_back(line);
+    if (in[i] == '\n') ++line;
+  }
+  return out;
+}
+
+class Scanner {
+ public:
+  explicit Scanner(const std::string& raw) : src_(splice_lines(raw)) {}
+
+  LexedFile run() {
+    bool line_start = true;
+    while (!eof()) {
+      const char c = peek();
+      if (c == '\n') {
+        line_start = true;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        skip_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        skip_block_comment();
+        continue;  // does not reset line_start: "/**/ #if" is not a directive
+      }
+      if (c == '#' && line_start) {
+        directive();
+        line_start = true;
+        continue;
+      }
+      line_start = false;
+      token(out_.tokens);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  bool eof() const { return pos_ >= src_.text.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.text.size() ? src_.text[pos_ + ahead] : '\0';
+  }
+  int line_at(std::size_t p) const {
+    if (src_.line.empty()) return 1;
+    return src_.line[p < src_.line.size() ? p : src_.line.size() - 1];
+  }
+  int cur_line() const { return line_at(pos_); }
+
+  void skip_line_comment() {
+    while (!eof() && peek() != '\n') ++pos_;
+  }
+
+  void skip_block_comment() {
+    pos_ += 2;
+    while (!eof() && !(peek() == '*' && peek(1) == '/')) ++pos_;
+    if (!eof()) pos_ += 2;
+  }
+
+  /// Lexes one token at the cursor into `sink`. Assumes the cursor is on
+  /// a non-space, non-comment, non-newline character.
+  void token(std::vector<Token>& sink) {
+    const int line = cur_line();
+    const char c = peek();
+
+    if (is_ident_start(c)) {
+      std::string id;
+      while (!eof() && is_ident_char(peek())) id.push_back(src_.text[pos_++]);
+      // Encoding prefixes fuse with an immediately following literal.
+      if (peek() == '"' &&
+          (id == "R" || id == "u8R" || id == "uR" || id == "UR" ||
+           id == "LR")) {
+        raw_string();
+        sink.push_back({TokKind::kString, "<str>", line});
+        return;
+      }
+      if (peek() == '"' &&
+          (id == "u8" || id == "u" || id == "U" || id == "L")) {
+        quoted('"');
+        sink.push_back({TokKind::kString, "<str>", line});
+        return;
+      }
+      if (peek() == '\'' && (id == "u8" || id == "u" || id == "U" ||
+                             id == "L")) {
+        quoted('\'');
+        sink.push_back({TokKind::kChar, "<chr>", line});
+        return;
+      }
+      sink.push_back({TokKind::kIdentifier, std::move(id), line});
+      return;
+    }
+    if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+      std::string num;
+      while (!eof()) {
+        const char d = peek();
+        if (is_ident_char(d) || d == '.') {
+          num.push_back(d);
+          ++pos_;
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+              (peek() == '+' || peek() == '-')) {
+            num.push_back(src_.text[pos_++]);
+          }
+          continue;
+        }
+        if (d == '\'' && is_ident_char(peek(1))) {  // digit separator
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      sink.push_back({TokKind::kNumber, std::move(num), line});
+      return;
+    }
+    if (c == '"') {
+      quoted('"');
+      sink.push_back({TokKind::kString, "<str>", line});
+      return;
+    }
+    if (c == '\'') {
+      quoted('\'');
+      sink.push_back({TokKind::kChar, "<chr>", line});
+      return;
+    }
+    // Punctuation. Only "::" and "->" matter as units to the rules;
+    // everything else (including ">>") stays one character per token so
+    // template-argument scanning can balance brackets naively.
+    if (c == ':' && peek(1) == ':') {
+      pos_ += 2;
+      sink.push_back({TokKind::kPunct, "::", line});
+      return;
+    }
+    if (c == '-' && peek(1) == '>') {
+      pos_ += 2;
+      sink.push_back({TokKind::kPunct, "->", line});
+      return;
+    }
+    ++pos_;
+    sink.push_back({TokKind::kPunct, std::string(1, c), line});
+  }
+
+  /// Consumes a (non-raw) string or char literal, cursor on the opening
+  /// quote. Unterminated literals end at the newline.
+  void quoted(char quote) {
+    ++pos_;
+    while (!eof() && peek() != quote && peek() != '\n') {
+      pos_ += (peek() == '\\' && pos_ + 1 < src_.text.size()) ? 2 : 1;
+    }
+    if (!eof() && peek() == quote) ++pos_;
+  }
+
+  /// Consumes a raw string literal, cursor on the opening quote (the R
+  /// prefix has been consumed). Content, including banned identifiers
+  /// and fake quotes across many lines, is skipped entirely.
+  void raw_string() {
+    ++pos_;  // opening quote
+    std::string delim;
+    while (!eof() && peek() != '(' && peek() != '\n' && delim.size() < 20) {
+      delim.push_back(src_.text[pos_++]);
+    }
+    if (peek() != '(') return;  // malformed; give up on this literal
+    ++pos_;
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = src_.text.find(closer, pos_);
+    pos_ = end == std::string::npos ? src_.text.size() : end + closer.size();
+  }
+
+  /// Parses one preprocessor directive, cursor on '#'. Line splices are
+  /// already folded, so the directive ends at the next newline.
+  void directive() {
+    ++pos_;  // '#'
+    while (!eof() && (peek() == ' ' || peek() == '\t')) ++pos_;
+    std::string name;
+    while (!eof() && is_ident_char(peek())) name.push_back(src_.text[pos_++]);
+
+    if (name == "include") {
+      parse_include();
+    } else if (name == "define") {
+      parse_define();
+    } else if (name == "pragma") {
+      while (!eof() && (peek() == ' ' || peek() == '\t')) ++pos_;
+      std::string what;
+      while (!eof() && is_ident_char(peek())) {
+        what.push_back(src_.text[pos_++]);
+      }
+      if (what == "once") out_.pragma_once = true;
+    }
+    while (!eof() && peek() != '\n') ++pos_;
+  }
+
+  void parse_include() {
+    const int line = cur_line();
+    while (!eof() && (peek() == ' ' || peek() == '\t')) ++pos_;
+    const char open = peek();
+    if (open != '<' && open != '"') return;  // computed include; ignore
+    const char close = open == '<' ? '>' : '"';
+    ++pos_;
+    std::string path;
+    while (!eof() && peek() != close && peek() != '\n') {
+      path.push_back(src_.text[pos_++]);
+    }
+    out_.includes.push_back({std::move(path), open == '<', line});
+  }
+
+  void parse_define() {
+    MacroDef def;
+    def.line = cur_line();
+    while (!eof() && (peek() == ' ' || peek() == '\t')) ++pos_;
+    if (!is_ident_start(peek())) return;
+    while (!eof() && is_ident_char(peek())) {
+      def.name.push_back(src_.text[pos_++]);
+    }
+    if (peek() == '(') {  // function-like: skip the parameter list
+      def.function_like = true;
+      int depth = 0;
+      while (!eof() && peek() != '\n') {
+        if (peek() == '(') ++depth;
+        if (peek() == ')' && --depth == 0) {
+          ++pos_;
+          break;
+        }
+        ++pos_;
+      }
+    }
+    // Replacement list: lex like ordinary code until end of line.
+    while (!eof() && peek() != '\n') {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        skip_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        skip_block_comment();
+        continue;
+      }
+      token(def.body);
+    }
+    out_.macros.push_back(std::move(def));
+  }
+
+  Cleaned src_;
+  std::size_t pos_{0};
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& text) { return Scanner(text).run(); }
+
+}  // namespace ff::lint

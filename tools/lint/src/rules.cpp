@@ -1,0 +1,301 @@
+#include "ff/lint/rules.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+
+namespace ff::lint {
+namespace {
+
+const Token kNone{TokKind::kPunct, "", 0};
+
+const Token& prev(const std::vector<Token>& t, std::size_t i,
+                  std::size_t back = 1) {
+  return i >= back ? t[i - back] : kNone;
+}
+
+const Token& next(const std::vector<Token>& t, std::size_t i,
+                  std::size_t fwd = 1) {
+  return i + fwd < t.size() ? t[i + fwd] : kNone;
+}
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+
+/// True for `x` in `obj.x`, `p->x`, or `ns::x` where ns != std -- i.e.
+/// the name is a member or lives in a user namespace, so it is not the
+/// global/std entity the rule bans.
+bool member_or_user_qualified(const std::vector<Token>& t, std::size_t i) {
+  const Token& p = prev(t, i);
+  if (p.text == "." || p.text == "->") return true;
+  if (p.text == "::") {
+    const Token& q = prev(t, i, 2);
+    return q.kind == TokKind::kIdentifier && q.text != "std";
+  }
+  return false;
+}
+
+bool is_wall_clock_name(const std::string& s) {
+  return s == "system_clock" || s == "steady_clock" ||
+         s == "high_resolution_clock";
+}
+
+/// Raw pattern match over a token stream; scope filtering happens in the
+/// caller. Covers every rule that needs no cross-statement state.
+std::vector<Finding> scan_tokens(const std::vector<Token>& toks) {
+  std::vector<Finding> out;
+  const auto add = [&](int line, const char* rule, const std::string& msg) {
+    out.push_back({"", line, rule, msg});
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+
+    // -- wall-clock ------------------------------------------------------
+    if (is_wall_clock_name(t.text)) {
+      add(t.line, "wall-clock",
+          "wall-clock read in deterministic code; use Simulator::now()");
+      continue;
+    }
+    if ((t.text == "clock_gettime" || t.text == "gettimeofday") &&
+        next(toks, i).text == "(") {
+      add(t.line, "wall-clock",
+          "wall-clock read in deterministic code; use Simulator::now()");
+      continue;
+    }
+
+    // -- ambient-entropy -------------------------------------------------
+    if (t.text == "random_device" && !member_or_user_qualified(toks, i)) {
+      add(t.line, "ambient-entropy",
+          "ambient entropy source; use the seeded ff::Rng");
+      continue;
+    }
+    if ((t.text == "rand" || t.text == "srand") &&
+        next(toks, i).text == "(" && !member_or_user_qualified(toks, i)) {
+      add(t.line, "ambient-entropy",
+          "ambient entropy source; use the seeded ff::Rng");
+      continue;
+    }
+    if (t.text == "time" && next(toks, i).text == "(" &&
+        !member_or_user_qualified(toks, i)) {
+      const Token& arg = next(toks, i, 2);
+      if (arg.text == "NULL" || arg.text == "nullptr" || arg.text == "0" ||
+          arg.text == "&") {
+        add(t.line, "ambient-entropy",
+            "ambient entropy source; use the seeded ff::Rng");
+        continue;
+      }
+    }
+
+    // -- unordered-pointer-key -------------------------------------------
+    if ((t.text == "unordered_map" || t.text == "unordered_set") &&
+        next(toks, i).text == "<") {
+      int angle = 0;
+      int paren = 0;
+      bool star = false;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        const std::string& s = toks[j].text;
+        if (s == "<") ++angle;
+        if (s == ">" && --angle == 0) break;
+        if (s == "(") ++paren;
+        if (s == ")") --paren;
+        if (s == "," && angle == 1 && paren == 0) break;  // end of key type
+        if (s == "*") star = true;
+      }
+      if (star) {
+        add(t.line, "unordered-pointer-key",
+            "pointer-keyed hash container: iteration order follows ASLR");
+      }
+      continue;
+    }
+
+    // -- raw-allocation --------------------------------------------------
+    if (t.text == "new") {
+      if (prev(toks, i).text == "operator") {
+        if (prev(toks, i, 2).text == "::" && next(toks, i).text == "(") {
+          add(t.line, "raw-allocation",
+              "direct allocation in event-dispatch code; the kernel hot "
+              "path is allocation-free (see tests/sim/allocation_test.cpp)");
+        }
+      } else if (next(toks, i).kind == TokKind::kIdentifier) {
+        // `new (addr) T` placement form is excluded: next is '('.
+        add(t.line, "raw-allocation",
+            "direct allocation in event-dispatch code; the kernel hot "
+            "path is allocation-free (see tests/sim/allocation_test.cpp)");
+      }
+      continue;
+    }
+    if (t.text == "malloc" && next(toks, i).text == "(" &&
+        !member_or_user_qualified(toks, i)) {
+      add(t.line, "raw-allocation",
+          "direct allocation in event-dispatch code; the kernel hot "
+          "path is allocation-free (see tests/sim/allocation_test.cpp)");
+      continue;
+    }
+  }
+  return out;
+}
+
+/// Replacement list of `def` with nested macros expanded (arguments are
+/// ignored; only the banned-construct tokens matter for classification).
+std::vector<Token> expand_macro(const SourceTree& tree, const MacroDef& def,
+                                std::set<std::string>* stack, int depth) {
+  std::vector<Token> out;
+  if (depth > 8 || !stack->insert(def.name).second) return out;
+  for (const Token& t : def.body) {
+    const MacroDef* nested = t.kind == TokKind::kIdentifier
+                                 ? tree.macro(t.text)
+                                 : nullptr;
+    if (nested != nullptr && nested->name != def.name) {
+      const std::vector<Token> sub =
+          expand_macro(tree, *nested, stack, depth + 1);
+      out.insert(out.end(), sub.begin(), sub.end());
+    } else {
+      out.push_back(t);
+    }
+  }
+  stack->erase(def.name);
+  return out;
+}
+
+/// Range-for statements whose range expression is a bare (optionally
+/// this->-qualified) name of a visible unordered container.
+std::vector<Finding> scan_unordered_iteration(
+    const std::vector<Token>& toks, const std::set<std::string>& decls) {
+  std::vector<Finding> out;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for") || toks[i + 1].text != "(") continue;
+    int paren = 1;
+    std::size_t colon = 0;
+    for (std::size_t j = i + 2; j < toks.size() && paren > 0; ++j) {
+      const std::string& s = toks[j].text;
+      if (s == "(") ++paren;
+      if (s == ")") --paren;
+      if (paren == 1 && s == ";") break;  // classic for loop
+      if (paren == 1 && s == ":") {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    // Range expression: tokens from colon+1 to the matching ')'.
+    std::vector<const Token*> expr;
+    paren = 1;
+    for (std::size_t j = colon + 1; j < toks.size(); ++j) {
+      const std::string& s = toks[j].text;
+      if (s == "(") ++paren;
+      if (s == ")" && --paren == 0) break;
+      expr.push_back(&toks[j]);
+    }
+    const Token* name = nullptr;
+    if (expr.size() == 1) name = expr[0];
+    if (expr.size() == 3 && is_ident(*expr[0], "this") &&
+        expr[1]->text == "->") {
+      name = expr[2];
+    }
+    if (name != nullptr && name->kind == TokKind::kIdentifier &&
+        decls.count(name->text) > 0) {
+      out.push_back(
+          {"", name->line, "unordered-iteration",
+           "range-for over unordered container '" + name->text +
+               "': iteration order is unspecified and must not feed "
+               "scheduling decisions"});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool in_dirs(const std::string& rel, const std::vector<std::string>& dirs) {
+  for (const std::string& d : dirs) {
+    if (rel.size() > d.size() && rel.compare(0, d.size(), d) == 0 &&
+        rel[d.size()] == '/') {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<std::string>& deterministic_dirs() {
+  static const std::vector<std::string> kDirs = {
+      "src/sim",    "src/net",    "src/control", "src/core",
+      "src/device", "src/server", "src/rt",      "src/sweep"};
+  return kDirs;
+}
+
+const std::vector<std::string>& scheduling_dirs() {
+  static const std::vector<std::string> kDirs = {"src/sim", "src/server",
+                                                 "src/device"};
+  return kDirs;
+}
+
+const std::vector<std::string>& dispatch_dirs() {
+  static const std::vector<std::string> kDirs = {"src/sim"};
+  return kDirs;
+}
+
+std::vector<std::string> macro_hazards(const SourceTree& tree,
+                                       const MacroDef& def) {
+  std::set<std::string> stack;
+  const std::vector<Token> body = expand_macro(tree, def, &stack, 0);
+  std::set<std::string> rules;
+  for (const Finding& f : scan_tokens(body)) rules.insert(f.rule);
+  return {rules.begin(), rules.end()};
+}
+
+std::vector<Finding> check_determinism(const SourceTree& tree,
+                                       const SourceFile& file) {
+  std::vector<Finding> raw;
+  if (in_dirs(file.rel, deterministic_dirs())) {
+    // Direct uses in the code token stream.
+    raw = scan_tokens(file.lex.tokens);
+
+    // Bodies of macros defined in this file: a hazardous definition is a
+    // finding even before its first expansion.
+    for (const MacroDef& def : file.lex.macros) {
+      for (Finding f : scan_tokens(def.body)) {
+        f.line = def.line;
+        f.message = "macro '" + def.name + "' body: " + f.message;
+        raw.push_back(std::move(f));
+      }
+    }
+
+    // Expansion sites of macros (defined anywhere in the tree, including
+    // outside the deterministic directories) whose expansion contains a
+    // banned construct -- the case the regex linter could not see.
+    for (const Token& t : file.lex.tokens) {
+      if (t.kind != TokKind::kIdentifier) continue;
+      const MacroDef* def = tree.macro(t.text);
+      if (def == nullptr) continue;
+      for (const std::string& rule : macro_hazards(tree, *def)) {
+        raw.push_back({"", t.line, rule,
+                       "expansion of macro '" + def->name +
+                           "' contains a banned construct (" + rule + ")"});
+      }
+    }
+  }
+
+  if (in_dirs(file.rel, scheduling_dirs())) {
+    const std::vector<Finding> iter = scan_unordered_iteration(
+        file.lex.tokens, tree.visible_unordered_decls(file));
+    raw.insert(raw.end(), iter.begin(), iter.end());
+  }
+
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    if (f.rule == "raw-allocation" && !in_dirs(file.rel, dispatch_dirs())) {
+      continue;
+    }
+    if (allowed_rules(file.lines, f.line).count(f.rule) > 0) continue;
+    f.file = file.rel;
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace ff::lint

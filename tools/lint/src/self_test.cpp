@@ -1,0 +1,196 @@
+#include <map>
+#include <ostream>
+#include <set>
+
+#include "ff/lint/driver.h"
+
+namespace ff::lint {
+namespace {
+
+// One violation per rule, plus the two classes of case the retired
+// regex linter (tools/determinism_lint.py) provably missed -- a banned
+// construct reaching linted code only through a macro defined in
+// another (unlinted) module, and iteration over an unordered container
+// declared in a header included from another file -- plus clean decoys
+// for its false-positive classes (comments, string literals, multi-line
+// raw strings, placement new, keyed lookups, member names).
+const std::vector<std::pair<std::string, std::string>> kCorpus = {
+    // wall-clock: direct use.
+    {"src/sim/bad_clock.cpp", R"corpus(#include <chrono>
+double wall_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+)corpus"},
+
+    // wall-clock: via macro. The definition lives in src/util, which the
+    // determinism rules do not cover, and the use site contains no
+    // banned substring -- invisible to a regex, caught by the macro
+    // table. FF_SQUARE is the benign control.
+    {"src/util/include/ff/util/wall_macro.h", R"corpus(#pragma once
+#include <chrono>
+#define FF_WALL_NOW() \
+  std::chrono::steady_clock::now().time_since_epoch().count()
+#define FF_SQUARE(x) ((x) * (x))
+)corpus"},
+    {"src/sim/macro_clock.cpp", R"corpus(#include "ff/util/wall_macro.h"
+double stamp() { return FF_WALL_NOW(); }
+)corpus"},
+    {"src/server/good_macro.cpp", R"corpus(#include "ff/util/wall_macro.h"
+int nine() { return FF_SQUARE(3); }
+)corpus"},
+
+    // ambient-entropy: all three banned sources.
+    {"src/net/bad_entropy.cpp", R"corpus(#include <cstdlib>
+#include <ctime>
+#include <random>
+int jitter() { return std::rand(); }
+long stamp() { return time(nullptr); }
+unsigned seed() { std::random_device rd; return rd(); }
+)corpus"},
+
+    // unordered-pointer-key: declaration split across lines, which a
+    // line-oriented regex cannot match.
+    {"src/server/bad_ptr_key.cpp", R"corpus(#include <unordered_map>
+struct Flow;
+std::unordered_map<
+    Flow*, int>
+    by_flow_;
+)corpus"},
+
+    // unordered-iteration: container declared in a header, iterated in
+    // the .cpp that includes it -- the cross-file case the regex linter
+    // (same-file declarations only) missed.
+    {"src/device/include/ff/device/session_table.h", R"corpus(#pragma once
+#include <unordered_map>
+struct SessionTable {
+  int total() const;
+  int depth(int id) const { return sessions_.at(id); }
+  std::unordered_map<int, int> sessions_;
+};
+)corpus"},
+    {"src/device/src/session_table.cpp",
+     R"corpus(#include "ff/device/session_table.h"
+int SessionTable::total() const {
+  int n = 0;
+  for (const auto& kv : sessions_) n += kv.second;
+  return n;
+}
+)corpus"},
+
+    // raw-allocation in event-dispatch code.
+    {"src/sim/bad_alloc.cpp", R"corpus(struct Event { int id; };
+Event* dispatch() { return new Event{1}; }
+)corpus"},
+
+    // layering: models may not reach up into core.
+    {"src/models/src/bad_layer.cpp",
+     R"corpus(#include "ff/core/experiment.h"
+int answer() { return 42; }
+)corpus"},
+
+    // include-cycle between two public headers.
+    {"src/net/include/ff/net/cycle_a.h", R"corpus(#pragma once
+#include "ff/net/cycle_b.h"
+struct CycleA {};
+)corpus"},
+    {"src/net/include/ff/net/cycle_b.h", R"corpus(#pragma once
+#include "ff/net/cycle_a.h"
+struct CycleB {};
+)corpus"},
+
+    // header-hygiene: no #pragma once, relative include.
+    {"src/control/include/ff/control/loose.h",
+     R"corpus(#include "../detail/impl.h"
+struct Loose {};
+)corpus"},
+
+    // Clean decoys: none of these may produce a finding.
+    {"src/core/good_clean.cpp",
+     R"corpus(// steady_clock in a comment must not trip the lint
+#include <unordered_map>
+const char* kDoc = "std::rand(), malloc() and new Event are banned";
+const char* kRaw = R"lint(
+  std::chrono::steady_clock::now();
+  time(NULL); malloc(4);
+  for (auto& kv : table_) {}
+)lint";
+struct Stamp {
+  double time;
+  explicit Stamp(double t) : time(t) {}
+};
+std::unordered_map<int, int> table_;
+int lookup(int k) { return table_.at(k); }
+)corpus"},
+    {"src/sim/good_sim.cpp", R"corpus(#include <new>
+struct Stamp {
+  double t;
+};
+void* emplace(void* slot) { return ::new (slot) Stamp{0.0}; }
+char* grow() {
+  // ff-lint: allow(raw-allocation) slab growth, amortized out of the
+  // steady state.
+  return new char[512];
+}
+)corpus"},
+    {"src/rt/good_allowed.cpp", R"corpus(#include <chrono>
+double pace() {
+  // ff-lint: allow(wall-clock) realtime pacing measures wall time.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+)corpus"},
+};
+
+const std::vector<std::pair<std::string, std::string>> kExpected = {
+    {"src/control/include/ff/control/loose.h", "header-hygiene"},
+    {"src/device/src/session_table.cpp", "unordered-iteration"},
+    {"src/models/src/bad_layer.cpp", "layering"},
+    {"src/net/bad_entropy.cpp", "ambient-entropy"},
+    {"src/net/include/ff/net/cycle_b.h", "include-cycle"},
+    {"src/server/bad_ptr_key.cpp", "unordered-pointer-key"},
+    {"src/sim/bad_alloc.cpp", "raw-allocation"},
+    {"src/sim/bad_clock.cpp", "wall-clock"},
+    {"src/sim/macro_clock.cpp", "wall-clock"},
+};
+
+}  // namespace
+
+const std::vector<std::pair<std::string, std::string>>& self_test_corpus() {
+  return kCorpus;
+}
+
+const std::vector<std::pair<std::string, std::string>>&
+self_test_expected() {
+  return kExpected;
+}
+
+int self_test(std::ostream& os) {
+  const LintResult result = lint_files(kCorpus);
+
+  std::set<std::pair<std::string, std::string>> got;
+  for (const Finding& f : result.findings) got.insert({f.file, f.rule});
+
+  bool ok = true;
+  for (const auto& want : kExpected) {
+    if (got.count(want) > 0) {
+      os << "self-test: PASS caught " << want.second << " in " << want.first
+         << "\n";
+    } else {
+      os << "self-test: FAIL missed " << want.second << " in " << want.first
+         << "\n";
+      ok = false;
+    }
+  }
+  const std::set<std::pair<std::string, std::string>> expected(
+      kExpected.begin(), kExpected.end());
+  for (const auto& extra : got) {
+    if (expected.count(extra) == 0) {
+      os << "self-test: FAIL false positive " << extra.second << " in "
+         << extra.first << "\n";
+      ok = false;
+    }
+  }
+  os << "self-test: " << (ok ? "OK" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace ff::lint

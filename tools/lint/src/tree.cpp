@@ -1,0 +1,168 @@
+#include "ff/lint/tree.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace ff::lint {
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(std::move(cur));
+  return lines;
+}
+
+/// Scans a token stream for unordered_{map,set} variable declarations:
+///   [std ::] unordered_map < ...balanced... > name (; | { | = | ,)
+/// Multi-line declarations and nested template arguments are handled by
+/// bracket balancing, which the retired regex linter could not do.
+std::set<std::string> find_unordered_decls(const std::vector<Token>& toks) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier ||
+        (t.text != "unordered_map" && t.text != "unordered_set")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j >= toks.size() || toks[j].text != "<") continue;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "<") ++depth;
+      if (toks[j].text == ">" && --depth == 0) break;
+    }
+    if (j >= toks.size()) continue;
+    // After the closing '>': an identifier then a declarator terminator.
+    if (j + 2 < toks.size() && toks[j + 1].kind == TokKind::kIdentifier) {
+      const std::string& next = toks[j + 2].text;
+      if (next == ";" || next == "{" || next == "=" || next == ",") {
+        names.insert(toks[j + 1].text);
+      }
+    }
+  }
+  return names;
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  return i;
+}
+
+/// Appends every rule named by `// ff-lint: allow(<rule>)` occurrences
+/// in one line.
+void collect_allows(const std::string& line, std::set<std::string>* out) {
+  const std::string kTag = "ff-lint:";
+  for (std::size_t at = line.find(kTag); at != std::string::npos;
+       at = line.find(kTag, at + kTag.size())) {
+    std::size_t i = skip_ws(line, at + kTag.size());
+    const std::string kAllow = "allow(";
+    if (line.compare(i, kAllow.size(), kAllow) != 0) continue;
+    i += kAllow.size();
+    std::string rule;
+    while (i < line.size() && (std::isalnum(static_cast<unsigned char>(
+                                   line[i])) ||
+                               line[i] == '-')) {
+      rule.push_back(line[i++]);
+    }
+    if (i < line.size() && line[i] == ')' && !rule.empty()) {
+      out->insert(rule);
+    }
+  }
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+std::string module_of(const std::string& rel) {
+  const std::string kSrc = "src/";
+  if (!starts_with(rel, kSrc)) return "";
+  const std::size_t end = rel.find('/', kSrc.size());
+  if (end == std::string::npos) return "";
+  return rel.substr(kSrc.size(), end - kSrc.size());
+}
+
+std::set<std::string> allowed_rules(const std::vector<std::string>& lines,
+                                    int line) {
+  std::set<std::string> allows;
+  const auto idx = static_cast<std::size_t>(line - 1);
+  if (idx >= lines.size()) return allows;
+  collect_allows(lines[idx], &allows);
+  for (std::size_t j = idx; j-- > 0;) {
+    const std::size_t at = lines[j].find_first_not_of(" \t");
+    if (at == std::string::npos || lines[j].compare(at, 2, "//") != 0) break;
+    collect_allows(lines[j], &allows);
+  }
+  return allows;
+}
+
+SourceTree::SourceTree(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  for (const auto& [rel, content] : files) {
+    SourceFile f;
+    f.rel = rel;
+    f.module = module_of(rel);
+    if (!f.module.empty()) {
+      const std::string pub = "src/" + f.module + "/include/";
+      if (starts_with(rel, pub)) {
+        f.public_header = true;
+        f.header_key = rel.substr(pub.size());
+      }
+    }
+    f.lines = split_lines(content);
+    f.lex = lex(content);
+    f.unordered_decls = find_unordered_decls(f.lex.tokens);
+    for (const MacroDef& m : f.lex.macros) macros_.emplace(m.name, m);
+    files_.push_back(std::move(f));
+  }
+  std::sort(files_.begin(), files_.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].public_header) by_header_key_[files_[i].header_key] = i;
+  }
+}
+
+const SourceFile* SourceTree::resolve(const std::string& path) const {
+  const auto it = by_header_key_.find(path);
+  return it == by_header_key_.end() ? nullptr : &files_[it->second];
+}
+
+const MacroDef* SourceTree::macro(const std::string& name) const {
+  const auto it = macros_.find(name);
+  return it == macros_.end() ? nullptr : &it->second;
+}
+
+std::set<std::string> SourceTree::visible_unordered_decls(
+    const SourceFile& file) const {
+  std::set<std::string> names = file.unordered_decls;
+  std::set<std::string> seen;
+  std::vector<const SourceFile*> work{&file};
+  while (!work.empty()) {
+    const SourceFile* cur = work.back();
+    work.pop_back();
+    for (const IncludeDirective& inc : cur->lex.includes) {
+      if (!seen.insert(inc.path).second) continue;
+      const SourceFile* next = resolve(inc.path);
+      if (next == nullptr) continue;
+      names.insert(next->unordered_decls.begin(),
+                   next->unordered_decls.end());
+      work.push_back(next);
+    }
+  }
+  return names;
+}
+
+}  // namespace ff::lint
