@@ -15,6 +15,7 @@
 
 #include "ff/core/framefeedback.h"
 #include "ff/core/obs_export.h"
+#include "ff/invariants/capture.h"
 #include "ff/obs/trace.h"
 #include "ff/util/config.h"
 
@@ -44,6 +45,9 @@ void print_help() {
       << "  --trace-out=PATH   structured JSONL trace: frame lifecycle,\n"
       << "                     controller ticks, net/server events\n"
       << "  --metrics-out=PATH run-level metrics as one JSON document\n"
+      << "  --replay=CAPTURE   re-execute a flight-recorder capture (from\n"
+      << "                     the invariants bench) and verify the result\n"
+      << "                     fingerprint reproduces bit-identically\n"
       << "  seed=N duration_s=N devices=N shared_medium=BOOL\n"
       << "  device.fps device.model device.profile device.deadline_ms\n"
       << "  net.bandwidth_mbps net.loss net.delay_ms load.rate\n"
@@ -69,6 +73,24 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (const auto capture = cfg.get("replay")) {
+      const auto replay = ff::invariants::replay_capture(*capture);
+      std::cout << "replay " << *capture << ": scenario "
+                << replay.capture.scenario << ", controller "
+                << replay.capture.controller << ", seed "
+                << replay.capture.seed << "\n"
+                << "  events " << replay.replayed_events << " (captured "
+                << replay.capture.events_executed << ")\n";
+      if (replay.match()) {
+        std::cout << "  fingerprint reproduced bit-identically\n";
+        return 0;
+      }
+      std::cout << "  FINGERPRINT MISMATCH: expected " << std::hex
+                << replay.capture.fingerprint << ", got "
+                << replay.replayed_fingerprint << std::dec << "\n";
+      return 1;
+    }
+
     const ff::core::Scenario scenario = ff::core::scenario_from_config(cfg);
 
     std::vector<std::string> controllers;

@@ -1,5 +1,6 @@
 #include "ff/core/experiment.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -162,15 +163,21 @@ ExperimentResult Experiment::run() {
   if (ran_) throw std::logic_error("Experiment::run called twice");
   ran_ = true;
 
+  SimDuration first_control = 0;
   for (auto& rig : rigs_) {
     rig->device->start();
     rig->control_timer->start(rig->controller->measure_period(),
                               rig->controller->measure_period());
+    first_control = std::max(first_control,
+                             rig->controller->measure_period());
   }
   if (load_) load_->start();
   // Offset sampling half a period after control ticks so each sample sees
-  // the period's settled state.
-  sample_timer_->start(scenario_.sample_period, scenario_.sample_period / 2);
+  // the period's settled state; the first sample lands half a sample
+  // period after the last rig's first control tick, so no series ever
+  // records the pre-control transient.
+  sample_timer_->start(scenario_.sample_period,
+                       first_control + scenario_.sample_period / 2);
 
   sim_->run_until(scenario_.duration);
 
@@ -186,6 +193,10 @@ ExperimentResult Experiment::run() {
     DeviceResult d;
     d.name = rig->device->config().name;
     d.controller = std::string(rig->controller->name());
+    // Terminal accounting: frames the horizon cut off mid-pipeline would
+    // otherwise vanish from the totals and break frame conservation.
+    rig->device->telemetry().record_in_flight_at_end(
+        rig->device->in_flight_frames());
     d.totals = rig->device->telemetry().totals();
     d.offload = rig->device->offload_client().stats();
     d.uplink = rig->transport->uplink_stats();

@@ -27,6 +27,8 @@ void export_device(const DeviceResult& d, obs::MetricsRegistry& reg) {
       static_cast<double>(d.totals.timeouts_network));
   reg.counter("device.timeouts_load", labels).add(
       static_cast<double>(d.totals.timeouts_load));
+  reg.counter("device.in_flight_at_end", labels).add(
+      static_cast<double>(d.totals.in_flight_at_end));
   reg.counter("device.offload_late_responses", labels).add(
       static_cast<double>(d.offload.late_responses));
 

@@ -99,6 +99,15 @@ class EdgeDevice {
            source_.frames_emitted() >= config_.frame_limit;
   }
 
+  /// Frames captured but not yet resolved: sitting in the JPEG-encode
+  /// stage, awaiting an offload outcome, or queued/executing locally.
+  /// Drained into TelemetryTotals::in_flight_at_end at the end of a run so
+  /// the frame-conservation identity holds exactly at any horizon.
+  [[nodiscard]] std::uint64_t in_flight_frames() const {
+    return encoding_frames_ + offload_.pending_frames() +
+           local_.queue_depth();
+  }
+
   /// Per-frame payload size implied by the frame spec.
   [[nodiscard]] Bytes frame_payload() const { return frame_payload_; }
 
@@ -125,6 +134,8 @@ class EdgeDevice {
   LocalEngine local_;
   OffloadClient offload_;
   FrameSource source_;
+  /// Frames routed offload whose JPEG encode has not finished yet.
+  std::uint64_t encoding_frames_{0};
   std::uint64_t next_probe_id_;
   std::optional<bool> probe_result_;
   obs::TraceSink* sink_{nullptr};

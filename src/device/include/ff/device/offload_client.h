@@ -71,6 +71,9 @@ class OffloadClient {
   [[nodiscard]] std::size_t in_flight() const {
     return pending_.size() + probes_.size();
   }
+  /// Offloaded frames awaiting resolution (excludes probes, which never
+  /// enter the frame-conservation identity).
+  [[nodiscard]] std::size_t pending_frames() const { return pending_.size(); }
   [[nodiscard]] const OffloadClientConfig& config() const { return config_; }
 
   /// Attaches a trace sink for offload lifecycle events (nullptr

@@ -19,12 +19,26 @@ struct TelemetryTotals {
   std::uint64_t offload_successes{0};
   std::uint64_t timeouts_network{0};  ///< Tn events
   std::uint64_t timeouts_load{0};     ///< Tl events
+  /// Frames still pending (encoding, offload in flight, local queue) when
+  /// the run's horizon cut the simulation off; without this term the frame
+  /// conservation identity has a hole exactly as wide as the pipeline.
+  std::uint64_t in_flight_at_end{0};
 
   [[nodiscard]] std::uint64_t timeouts() const {
     return timeouts_network + timeouts_load;
   }
   [[nodiscard]] std::uint64_t successes() const {
     return local_completions + offload_successes;
+  }
+  /// Every resolved or still-pending frame: the right-hand side of the
+  /// conservation identity.
+  [[nodiscard]] std::uint64_t accounted() const {
+    return local_completions + local_drops + offload_successes +
+           timeouts_network + timeouts_load + in_flight_at_end;
+  }
+  /// Frame conservation: every captured frame is accounted for, exactly.
+  [[nodiscard]] bool conserved() const {
+    return frames_captured == accounted();
   }
 };
 
@@ -39,6 +53,11 @@ class Telemetry {
   void record_offload_success(SimTime t, SimDuration latency);
   void record_timeout_network(SimTime t);
   void record_timeout_load(SimTime t);
+  /// Records the frames still in the pipeline when the run ended (set once
+  /// by the experiment runner after the horizon; overwrites, not adds).
+  void record_in_flight_at_end(std::uint64_t frames) {
+    totals_.in_flight_at_end = frames;
+  }
 
   /// Pl: local completions per second over the window.
   [[nodiscard]] double local_rate(SimTime now);

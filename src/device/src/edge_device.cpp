@@ -70,7 +70,9 @@ void EdgeDevice::on_frame(std::uint64_t index, SimTime t) {
     // JPEG encoding happens on-device before transmission; the deadline
     // clock is already running.
     const SimDuration encode = models::encode_time(config_.frame);
+    ++encoding_frames_;
     sim_.schedule_in(encode, [this, index, t] {
+      --encoding_frames_;
       offload_.offload_frame(index, t, frame_payload_);
     });
   } else {

@@ -1,0 +1,47 @@
+#pragma once
+
+// Flight-recorder captures: when an invariant fails, the harness writes a
+// small key=value file naming the suite scenario, controller, seed and the
+// run's result fingerprint (plus a JSONL trace of the failing run). The
+// simulation is deterministic, so the capture is a complete reproduction
+// recipe: `ffctl --replay=<capture>` re-executes the run and asserts the
+// fingerprint matches bit-for-bit.
+
+#include <cstdint>
+#include <string>
+
+namespace ff::invariants {
+
+struct Capture {
+  std::string scenario;    ///< name in the default suite
+  std::string controller;  ///< controller_factory_from_config name
+  std::uint64_t seed{0};
+  std::uint64_t fingerprint{0};  ///< expected result_fingerprint
+  std::uint64_t events_executed{0};
+  std::uint64_t frames_captured{0};  ///< device totals, for a quick sanity read
+  std::string failed;      ///< comma list of failed invariants ("" = manual)
+  std::string trace_path;  ///< sibling JSONL trace ("" when not written)
+};
+
+/// Writes the capture as a Config-compatible key=value file.
+void write_capture(const Capture& capture, const std::string& path);
+
+/// Parses a capture file. Throws std::runtime_error on I/O failure and
+/// std::invalid_argument when required keys are missing.
+[[nodiscard]] Capture load_capture(const std::string& path);
+
+struct ReplayResult {
+  Capture capture;
+  std::uint64_t replayed_fingerprint{0};
+  std::uint64_t replayed_events{0};
+  [[nodiscard]] bool match() const {
+    return replayed_fingerprint == capture.fingerprint;
+  }
+};
+
+/// Re-executes the captured run (same suite scenario, controller and seed)
+/// and compares fingerprints. Throws on unreadable captures and unknown
+/// scenario/controller names.
+[[nodiscard]] ReplayResult replay_capture(const std::string& path);
+
+}  // namespace ff::invariants

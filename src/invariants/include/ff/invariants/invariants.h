@@ -1,0 +1,83 @@
+#pragma once
+
+// Invariant evaluation over a finished run: declarative checks of the
+// "physics" every healthy closed loop must obey, computed purely from the
+// telemetry an ExperimentResult already carries. Each check reports the
+// observed value against its bound so failures are diagnosable from the
+// JSON summary alone.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ff/core/experiment.h"
+#include "ff/invariants/scenario_suite.h"
+
+namespace ff::invariants {
+
+/// Bounds for the non-exact invariants. Frame conservation takes no
+/// threshold: it holds exactly or it is a bug.
+struct InvariantThresholds {
+  /// Po_target steps smaller than this (fps) are measurement noise, not
+  /// actuation reversals.
+  double po_deadband_fps{1.0};
+  /// Maximum direction reversals of Po_target per minute of run time.
+  double po_flaps_per_minute{12.0};
+  /// Settling time granted after the disturbance closes before the
+  /// timeout rate T must have converged.
+  SimDuration convergence_settle{10 * kSecond};
+  /// Converged means: tail mean of T within this many timeouts/s of the
+  /// pre-disturbance baseline (or of zero when there is no baseline).
+  double recovered_timeout_slack{1.0};
+  /// The post-disturbance trend must not rise: second half mean of T may
+  /// exceed the first half by at most this (timeouts/s).
+  double trend_slack{0.5};
+  /// p99 wall-clock cost per simulator event (us), when measured.
+  double event_cost_p99_us{250.0};
+};
+
+/// One evaluated invariant: what was measured, what was allowed.
+struct InvariantCheck {
+  std::string name;
+  bool passed{false};
+  double observed{0.0};
+  double bound{0.0};
+  std::string detail;
+};
+
+/// Everything the harness learned from one scenario run.
+struct ScenarioReport {
+  std::string scenario;
+  std::string controller;
+  std::string description;
+  std::uint64_t seed{0};
+  std::uint64_t fingerprint{0};  ///< sweep::result_fingerprint of the run
+  std::uint64_t events_executed{0};
+  std::vector<InvariantCheck> checks;
+  /// Flight-recorder capture written for this run ("" when none).
+  std::string capture_path;
+  /// True when the capture's verification re-run reproduced `fingerprint`
+  /// bit-identically (only meaningful when a capture was written).
+  bool replay_verified{false};
+
+  [[nodiscard]] bool passed() const;
+  /// Comma-separated names of failed checks ("" when all passed).
+  [[nodiscard]] std::string failed_names() const;
+};
+
+/// Evaluates every invariant against a finished run of `scenario`. Pass
+/// `event_cost_p99_us < 0` when per-event wall cost was not measured (the
+/// check is then omitted).
+[[nodiscard]] std::vector<InvariantCheck> evaluate_invariants(
+    const DisturbanceScenario& scenario, const core::ExperimentResult& result,
+    const InvariantThresholds& thresholds, double event_cost_p99_us = -1.0);
+
+/// Machine-readable summary (INVARIANTS.json): suite verdict plus every
+/// scenario's checks, fingerprints as hex strings.
+void write_invariants_json(const std::vector<ScenarioReport>& reports,
+                           std::ostream& os);
+void write_invariants_json(const std::vector<ScenarioReport>& reports,
+                           const std::string& path);
+
+}  // namespace ff::invariants

@@ -1,0 +1,90 @@
+#include "ff/invariants/capture.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "ff/core/scenario_config.h"
+#include "ff/invariants/scenario_suite.h"
+#include "ff/sweep/sweep.h"
+#include "ff/util/config.h"
+
+namespace ff::invariants {
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Config::get_int is signed, so the fingerprint travels as a hex string.
+std::uint64_t parse_hex64(const std::string& s) {
+  return std::stoull(s, nullptr, 16);
+}
+
+std::string require(const Config& cfg, const std::string& key,
+                    const std::string& path) {
+  const auto v = cfg.get(key);
+  if (!v) {
+    throw std::invalid_argument("capture " + path + " is missing key '" +
+                                key + "'");
+  }
+  return *v;
+}
+
+}  // namespace
+
+void write_capture(const Capture& capture, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write capture " + path);
+  os << "# ff-invariants flight-recorder capture\n"
+     << "# replay with: ffctl --replay=" << path << "\n"
+     << "scenario = " << capture.scenario << "\n"
+     << "controller = " << capture.controller << "\n"
+     << "seed = " << capture.seed << "\n"
+     << "fingerprint = " << hex64(capture.fingerprint) << "\n"
+     << "events_executed = " << capture.events_executed << "\n"
+     << "frames_captured = " << capture.frames_captured << "\n";
+  if (!capture.failed.empty()) os << "failed = " << capture.failed << "\n";
+  if (!capture.trace_path.empty()) {
+    os << "trace = " << capture.trace_path << "\n";
+  }
+  if (!os) throw std::runtime_error("short write on capture " + path);
+}
+
+Capture load_capture(const std::string& path) {
+  const Config cfg = Config::from_file(path);
+  Capture c;
+  c.scenario = require(cfg, "scenario", path);
+  c.controller = require(cfg, "controller", path);
+  c.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 0));
+  c.fingerprint = parse_hex64(require(cfg, "fingerprint", path));
+  c.events_executed =
+      static_cast<std::uint64_t>(cfg.get_int("events_executed", 0));
+  c.frames_captured =
+      static_cast<std::uint64_t>(cfg.get_int("frames_captured", 0));
+  c.failed = cfg.get_string("failed", "");
+  c.trace_path = cfg.get_string("trace", "");
+  return c;
+}
+
+ReplayResult replay_capture(const std::string& path) {
+  ReplayResult out;
+  out.capture = load_capture(path);
+
+  DisturbanceScenario d = find_scenario(out.capture.scenario);
+  d.scenario.seed = out.capture.seed;
+  Config controller_cfg;
+  controller_cfg.set("controller", out.capture.controller);
+  const core::ExperimentResult result = core::run_experiment(
+      d.scenario, core::controller_factory_from_config(controller_cfg));
+
+  out.replayed_fingerprint = sweep::result_fingerprint(result);
+  out.replayed_events = result.events_executed;
+  return out;
+}
+
+}  // namespace ff::invariants

@@ -1,0 +1,162 @@
+#include "ff/invariants/scenario_suite.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ff::invariants {
+namespace {
+
+constexpr SimDuration kRun = 90 * kSecond;
+constexpr SimTime kOn = 30 * kSecond;   // disturbance opens
+constexpr SimTime kOff = 55 * kSecond;  // disturbance closes
+
+/// Ideal-based single-device scenario with a fixed seed; every suite entry
+/// starts here so the only thing that varies is the disturbance itself.
+core::Scenario base(const std::string& name, SimDuration duration = kRun) {
+  core::Scenario s = core::Scenario::ideal(duration);
+  s.name = name;
+  s.seed = 42;
+  return s;
+}
+
+/// Installs a schedule and keeps the link templates' initial conditions in
+/// sync with its first phase (the same contract Scenario factories follow).
+void set_network(core::Scenario& s, net::NetemSchedule schedule) {
+  s.uplink_template.initial = schedule.at(0);
+  s.downlink_template.initial = schedule.at(0);
+  s.network = std::move(schedule);
+}
+
+DisturbanceScenario loss_burst() {
+  DisturbanceScenario d;
+  d.name = "loss_burst";
+  d.description = "15% packet loss injected mid-run on a 10 Mbps link";
+  d.scenario = base(d.name);
+  const net::LinkConditions clean{Bandwidth::mbps(10.0), 0.0,
+                                  2 * kMillisecond};
+  net::LinkConditions lossy = clean;
+  lossy.loss_probability = 0.15;
+  net::NetemSchedule sched;
+  sched.add(0, clean, "clean")
+      .add(kOn, lossy, "loss-burst")
+      .add(kOff, clean, "recovered");
+  set_network(d.scenario, sched);
+  d.disturbance_start = kOn;
+  d.disturbance_end = kOff;
+  return d;
+}
+
+DisturbanceScenario bandwidth_collapse() {
+  DisturbanceScenario d;
+  d.name = "bandwidth_collapse";
+  d.description = "uplink bandwidth collapses 10 -> 1.2 Mbps, then recovers";
+  d.scenario = base(d.name);
+  const net::LinkConditions clean{Bandwidth::mbps(10.0), 0.0,
+                                  2 * kMillisecond};
+  net::LinkConditions starved = clean;
+  starved.bandwidth = Bandwidth::mbps(1.2);
+  net::NetemSchedule sched;
+  sched.add(0, clean, "clean")
+      .add(kOn, starved, "collapsed")
+      .add(kOff, clean, "recovered");
+  set_network(d.scenario, sched);
+  d.disturbance_start = kOn;
+  d.disturbance_end = kOff;
+  return d;
+}
+
+DisturbanceScenario retry_storm() {
+  DisturbanceScenario d;
+  d.name = "retry_storm";
+  d.description =
+      "35% loss on a thin link: every frame needs several of the "
+      "transport's 8 retries, saturating the uplink with retransmissions";
+  d.scenario = base(d.name);
+  const net::LinkConditions clean{Bandwidth::mbps(8.0), 0.0,
+                                  5 * kMillisecond};
+  net::LinkConditions storm = clean;
+  storm.loss_probability = 0.35;
+  net::NetemSchedule sched;
+  sched.add(0, clean, "clean")
+      .add(kOn, storm, "retry-storm")
+      .add(kOff, clean, "recovered");
+  set_network(d.scenario, sched);
+  d.disturbance_start = kOn;
+  d.disturbance_end = kOff;
+  return d;
+}
+
+DisturbanceScenario server_overload() {
+  DisturbanceScenario d;
+  d.name = "server_overload";
+  d.description =
+      "background load steps to Table VI's peak (150 req/s) and back";
+  d.scenario = base(d.name);
+  d.scenario.background_load = server::LoadSchedule()
+                                   .add(0, Rate{0})
+                                   .add(kOn, Rate{150})
+                                   .add(kOff, Rate{0});
+  d.disturbance_start = kOn;
+  d.disturbance_end = kOff;
+  return d;
+}
+
+DisturbanceScenario server_stall() {
+  DisturbanceScenario d;
+  d.name = "server_stall";
+  d.description =
+      "a short 220 req/s burst stalls the server queue outright";
+  d.scenario = base(d.name);
+  d.scenario.background_load = server::LoadSchedule()
+                                   .add(0, Rate{0})
+                                   .add(kOn, Rate{220})
+                                   .add(45 * kSecond, Rate{0});
+  d.disturbance_start = kOn;
+  d.disturbance_end = 45 * kSecond;
+  return d;
+}
+
+DisturbanceScenario device_churn() {
+  DisturbanceScenario d;
+  d.name = "device_churn";
+  d.description =
+      "three devices contend on one shared uplink; two exhaust their "
+      "frame budgets mid-run and leave";
+  d.scenario = base(d.name);
+  d.scenario.shared_uplink_medium = true;
+  device::DeviceConfig peer = d.scenario.devices[0];
+  // ~55 s of frames at 30 fps, then the peer departs.
+  peer.frame_limit = 1650;
+  d.scenario.add_device(peer);
+  d.scenario.add_device(peer);
+  // Contention is present from the first frame: no clean baseline.
+  d.disturbance_start = 0;
+  d.disturbance_end = kOff;
+  return d;
+}
+
+}  // namespace
+
+std::vector<DisturbanceScenario> default_suite() {
+  return {loss_burst(),      bandwidth_collapse(), retry_storm(),
+          server_overload(), server_stall(),       device_churn()};
+}
+
+DisturbanceScenario find_scenario(const std::string& name) {
+  for (DisturbanceScenario& d : default_suite()) {
+    if (d.name == name) return std::move(d);
+  }
+  throw std::invalid_argument("unknown invariants scenario '" + name +
+                              "' (known: " + known_suite_names() + ")");
+}
+
+std::string known_suite_names() {
+  std::string out;
+  for (const DisturbanceScenario& d : default_suite()) {
+    if (!out.empty()) out += ", ";
+    out += d.name;
+  }
+  return out;
+}
+
+}  // namespace ff::invariants

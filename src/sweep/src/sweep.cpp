@@ -305,6 +305,7 @@ std::uint64_t result_fingerprint(const core::ExperimentResult& result) {
     f.mix(d.totals.offload_successes);
     f.mix(d.totals.timeouts_network);
     f.mix(d.totals.timeouts_load);
+    f.mix(d.totals.in_flight_at_end);
     f.mix(d.offload.attempts);
     f.mix(d.offload.successes);
     f.mix(d.offload.timeouts_network);

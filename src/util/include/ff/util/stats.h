@@ -80,23 +80,38 @@ class SampleQuantiles {
   mutable bool sorted_{false};
 };
 
-/// Mean with a normal-approximation confidence half-width, for
-/// multi-seed experiment summaries.
+/// Mean with a confidence half-width, for multi-seed experiment
+/// summaries.
 struct MeanCi {
   double mean{0.0};
-  double half_width{0.0};  ///< z * s / sqrt(n)
+  double half_width{0.0};  ///< critical value * s / sqrt(n)
   std::size_t n{0};
 
   [[nodiscard]] double lo() const { return mean - half_width; }
   [[nodiscard]] double hi() const { return mean + half_width; }
 };
 
-/// Computes mean +- z*s/sqrt(n) over the samples (z defaults to 95%).
-[[nodiscard]] MeanCi mean_ci(const std::vector<double>& samples,
-                             double z = 1.96);
+/// Two-sided 95% Student-t critical value (the 97.5% quantile) for `df`
+/// degrees of freedom. Sweep replicate counts are typically 5-10, where
+/// the normal z=1.96 understates the interval badly (t(4) = 2.776);
+/// exact to the conventional 3-decimal tables for df <= 30, interpolated
+/// in 1/df above that, converging to 1.96.
+[[nodiscard]] double student_t_975(std::size_t df);
 
-/// Same interval from already-streamed statistics (no retained samples).
-[[nodiscard]] MeanCi mean_ci(const StreamingStats& stats, double z = 1.96);
+/// Computes mean +- t*s/sqrt(n) over the samples, with the Student-t
+/// critical value for n-1 degrees of freedom (95% two-sided interval).
+[[nodiscard]] MeanCi mean_ci(const std::vector<double>& samples);
+
+/// Same, with an explicit critical value (e.g. a normal z, for callers
+/// that want the large-sample approximation regardless of n).
+[[nodiscard]] MeanCi mean_ci(const std::vector<double>& samples, double z);
+
+/// Student-t interval from already-streamed statistics (no retained
+/// samples).
+[[nodiscard]] MeanCi mean_ci(const StreamingStats& stats);
+
+/// Same interval with an explicit critical value.
+[[nodiscard]] MeanCi mean_ci(const StreamingStats& stats, double z);
 
 /// Exponentially weighted moving average.
 class Ewma {

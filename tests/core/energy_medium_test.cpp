@@ -15,7 +15,8 @@ TEST(Energy, SeriesAndTotalsRecorded) {
       s, make_controller_factory<control::LocalOnlyController>());
   const TimeSeries* p = r.devices[0].series.find("power_w");
   ASSERT_NE(p, nullptr);
-  EXPECT_EQ(p->size(), 20u);
+  // 20 s at 1 Hz with the first sample at 1.5 s: 1.5, 2.5, ..., 19.5 s.
+  EXPECT_EQ(p->size(), 19u);
   EXPECT_GT(r.devices[0].energy_joules, 0.0);
   // Sanity: a Pi over 20 s draws tens of joules, not thousands.
   EXPECT_LT(r.devices[0].energy_joules, 300.0);

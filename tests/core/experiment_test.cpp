@@ -57,9 +57,32 @@ TEST(Experiment, SeriesAreRecordedEverySamplePeriod) {
         "cpu"}) {
     const TimeSeries* s = series.find(name);
     ASSERT_NE(s, nullptr) << name;
-    // 15 s at 1 Hz, offset 0.5 s -> 15 samples.
-    EXPECT_EQ(s->size(), 15u) << name;
+    // 15 s at 1 Hz, first sample 0.5 s after the first control tick at
+    // t = 1 s -> samples at 1.5, 2.5, ..., 14.5 s.
+    EXPECT_EQ(s->size(), 14u) << name;
   }
+}
+
+TEST(Experiment, FirstSampleFollowsFirstControlTick) {
+  // Regression: sampling used to start at sample_period/2, before the
+  // first control tick at measure_period, so every series began with a
+  // pre-control transient (Po_target stuck at its initial value).
+  const auto r = run_experiment(
+      small_scenario(),
+      make_controller_factory<control::FrameFeedbackController>());
+  const control::FrameFeedbackConfig defaults;
+  const SimTime first_control = defaults.measure_period;
+  for (const char* name : {"P", "Po_target", "T"}) {
+    const TimeSeries* s = r.devices[0].series.find(name);
+    ASSERT_NE(s, nullptr) << name;
+    ASSERT_FALSE(s->empty()) << name;
+    EXPECT_GT(s->points().front().time, first_control) << name;
+  }
+  // And the offset keeps the intended mid-period phase: half a sample
+  // period past the control tick.
+  const TimeSeries* p = r.devices[0].series.find("P");
+  EXPECT_EQ(p->points().front().time,
+            first_control + small_scenario().sample_period / 2);
 }
 
 TEST(Experiment, LocalOnlyNeverOffloads) {
@@ -148,6 +171,27 @@ TEST(Experiment, FactoryReceivesDeviceIndex) {
     return std::make_unique<control::LocalOnlyController>();
   });
   EXPECT_EQ(indices, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Experiment, FrameConservationHoldsExactlyAtTheHorizon) {
+  // A slow path guarantees the horizon cuts frames off mid-pipeline:
+  // 60 ms of propagation each way means every frame captured in the last
+  // ~120 ms is still awaiting its response when run_until stops. Without
+  // terminal in-flight accounting those frames simply vanish from the
+  // totals and the conservation identity fails.
+  Scenario s = small_scenario(10 * kSecond);
+  net::LinkConditions slow{Bandwidth::mbps(10.0), 0.0, 60 * kMillisecond};
+  s.network = net::NetemSchedule::constant(slow);
+  s.uplink_template.initial = slow;
+  s.downlink_template.initial = slow;
+  const auto r = run_experiment(
+      s, make_controller_factory<control::AlwaysOffloadController>());
+  const auto& t = r.devices[0].totals;
+  EXPECT_GT(t.in_flight_at_end, 0u);  // the fix is actually exercised
+  EXPECT_EQ(t.frames_captured, t.local_completions + t.local_drops +
+                                   t.offload_successes + t.timeouts_network +
+                                   t.timeouts_load + t.in_flight_at_end);
+  EXPECT_TRUE(t.conserved());
 }
 
 TEST(Experiment, GoodputFractionConsistentWithTotals) {

@@ -17,7 +17,8 @@ TEST(QualityIntegration, QualitySeriesRecorded) {
   const TimeSeries* acc = r.devices[0].series.find("accuracy");
   ASSERT_NE(q, nullptr);
   ASSERT_NE(acc, nullptr);
-  EXPECT_EQ(q->size(), 10u);
+  // 10 s at 1 Hz with the first sample at 1.5 s: 1.5, 2.5, ..., 9.5 s.
+  EXPECT_EQ(q->size(), 9u);
   // Clean network: quality stays at the top rung.
   EXPECT_DOUBLE_EQ(q->stats().min(), 85.0);
 }

@@ -1,0 +1,86 @@
+#include "ff/invariants/capture.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "ff/invariants/harness.h"
+
+namespace ff::invariants {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+TEST(Capture, RoundTripsThroughTheKeyValueFile) {
+  Capture c;
+  c.scenario = "loss_burst";
+  c.controller = "frame-feedback";
+  c.seed = 1234;
+  c.fingerprint = 0xfeedface12345678u;
+  c.events_executed = 99999;
+  c.frames_captured = 2700;
+  c.failed = "t_convergence,po_flapping";
+  c.trace_path = "loss_burst.trace.jsonl";
+
+  const std::string path = temp_path("roundtrip.capture");
+  write_capture(c, path);
+  const Capture back = load_capture(path);
+  EXPECT_EQ(back.scenario, c.scenario);
+  EXPECT_EQ(back.controller, c.controller);
+  EXPECT_EQ(back.seed, c.seed);
+  EXPECT_EQ(back.fingerprint, c.fingerprint);
+  EXPECT_EQ(back.events_executed, c.events_executed);
+  EXPECT_EQ(back.frames_captured, c.frames_captured);
+  EXPECT_EQ(back.failed, c.failed);
+  EXPECT_EQ(back.trace_path, c.trace_path);
+}
+
+TEST(Capture, LoadThrowsOnMissingFileAndMissingKeys) {
+  EXPECT_THROW((void)load_capture(temp_path("nope.capture")),
+               std::runtime_error);
+  const std::string path = temp_path("partial.capture");
+  std::ofstream(path) << "scenario = loss_burst\n";
+  EXPECT_THROW((void)load_capture(path), std::invalid_argument);
+}
+
+TEST(Capture, ReplayThrowsOnUnknownScenario) {
+  Capture c;
+  c.scenario = "no_such_scenario";
+  c.controller = "frame-feedback";
+  c.seed = 1;
+  c.fingerprint = 1;
+  const std::string path = temp_path("unknown.capture");
+  write_capture(c, path);
+  EXPECT_THROW((void)replay_capture(path), std::invalid_argument);
+}
+
+// The flight-recorder contract end to end: a harness capture replays to
+// the exact fingerprint of the run it recorded, and a tampered
+// fingerprint is detected as a mismatch.
+TEST(Capture, HarnessCaptureReplaysBitIdentically) {
+  HarnessOptions options;
+  options.capture_dir = testing::TempDir() + "invariants-captures";
+  options.capture_all = true;  // capture even though the run passes
+  const ScenarioReport report =
+      run_scenario(find_scenario("server_stall"), options);
+  ASSERT_FALSE(report.capture_path.empty());
+  EXPECT_TRUE(report.replay_verified);
+
+  const ReplayResult replay = replay_capture(report.capture_path);
+  EXPECT_TRUE(replay.match());
+  EXPECT_EQ(replay.replayed_fingerprint, report.fingerprint);
+  EXPECT_EQ(replay.replayed_events, report.events_executed);
+
+  // Tamper with the recorded fingerprint: replay must notice.
+  Capture tampered = load_capture(report.capture_path);
+  tampered.fingerprint ^= 1;
+  const std::string bad = temp_path("tampered.capture");
+  write_capture(tampered, bad);
+  EXPECT_FALSE(replay_capture(bad).match());
+}
+
+}  // namespace
+}  // namespace ff::invariants

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <sstream>
 
@@ -170,6 +171,13 @@ TEST(SweepAggregate, SummarizesReplicatesPerCell) {
                                2.0;
     EXPECT_DOUBLE_EQ(m.stats.mean(), expect_mean);
     EXPECT_DOUBLE_EQ(m.ci.mean, expect_mean);
+    // n = 2 replicates: the 95% interval uses the Student-t critical
+    // value for 1 degree of freedom (12.706), not the normal 1.96 --
+    // the normal interval was systematically narrow at bench replicate
+    // counts.
+    const double sd = std::sqrt(m.stats.sample_variance());
+    EXPECT_DOUBLE_EQ(m.ci.half_width,
+                     student_t_975(1) * sd / std::sqrt(2.0));
   }
 }
 

@@ -106,6 +106,9 @@ const std::map<std::string, std::set<std::string>>& layering() {
       {"sweep",
        {"core", "device", "server", "net", "control", "models", "sim", "rt",
         "obs", "util"}},
+      {"invariants",
+       {"sweep", "core", "device", "server", "net", "control", "models",
+        "sim", "rt", "obs", "util"}},
   };
   return kLayers;
 }
