@@ -7,19 +7,32 @@
 
 #include "ff/core/framefeedback.h"
 #include "ff/rt/thread_pool.h"
+#include "ff/sweep/sweep.h"
 
 namespace {
 
 using namespace ff;
 
-core::Scenario loaded_scenario(int batch_limit, bool reject_overflow) {
+core::Scenario loaded_scenario() {
   core::Scenario s = core::Scenario::ideal(60 * kSecond);
   s.seed = 42;
-  s.server.batch_limit = batch_limit;
-  s.server.reject_overflow = reject_overflow;
+  s.server.batch_limit = 15;
+  s.server.reject_overflow = true;
   s.background_load = server::LoadSchedule::constant(Rate{170.0});
   s.background.payload = models::frame_bytes({});
   return s;
+}
+
+sweep::SweepResult run_axis(const std::string& name, sweep::Axis axis) {
+  sweep::SweepConfig cfg;
+  cfg.name = name;
+  cfg.base = loaded_scenario();
+  cfg.seed_mode = sweep::SeedMode::kScenario;
+  cfg.axes.push_back(std::move(axis));
+  cfg.controllers = {
+      {"frame-feedback",
+       core::make_controller_factory<control::FrameFeedbackController>()}};
+  return sweep::run(cfg);
 }
 
 }  // namespace
@@ -30,15 +43,18 @@ int main() {
 
   {
     const std::vector<int> limits = {1, 4, 8, 15, 32};
-    const auto results = rt::parallel_map(limits.size(), [&](std::size_t i) {
-      return core::run_experiment(
-          loaded_scenario(limits[i], true),
-          core::make_controller_factory<control::FrameFeedbackController>());
-    });
+    sweep::Axis axis{"batch_limit", {}};
+    for (const int limit : limits) {
+      axis.values.push_back({std::to_string(limit), [limit](core::Scenario& s) {
+                               s.server.batch_limit = limit;
+                             }});
+    }
+    const sweep::SweepResult runs =
+        run_axis("ablation_batching_limit", std::move(axis));
     TextTable table({"batch limit", "server fps", "mean batch", "rejected",
                      "device P (fps)", "device Tl"});
     for (std::size_t i = 0; i < limits.size(); ++i) {
-      const auto& r = results[i];
+      const auto& r = runs.points[i].result;
       const double server_fps =
           static_cast<double>(r.server.requests_completed) /
           sim_to_seconds(r.duration);
@@ -53,23 +69,25 @@ int main() {
   }
 
   {
-    const auto rejecting = core::run_experiment(
-        loaded_scenario(15, true),
-        core::make_controller_factory<control::FrameFeedbackController>());
-    const auto queueing = core::run_experiment(
-        loaded_scenario(15, false),
-        core::make_controller_factory<control::FrameFeedbackController>());
+    sweep::Axis axis{"policy",
+                     {{"reject overflow (paper)",
+                       [](core::Scenario& s) { s.server.reject_overflow = true; }},
+                      {"queue everything",
+                       [](core::Scenario& s) {
+                         s.server.reject_overflow = false;
+                       }}}};
+    const sweep::SweepResult runs =
+        run_axis("ablation_batching_policy", std::move(axis));
     TextTable table({"policy", "device P (fps)", "device timeouts (Tn/Tl)",
                      "server latency p-mean (ms)", "server rejected"});
-    for (const auto* r : {&rejecting, &queueing}) {
-      const auto& d = r->devices[0];
-      table.add_row(
-          {r == &rejecting ? "reject overflow (paper)" : "queue everything",
-           fmt(d.mean_throughput(), 2),
-           std::to_string(d.totals.timeouts_network) + "/" +
-               std::to_string(d.totals.timeouts_load),
-           fmt(r->server.service_latency_us.mean() / 1000.0, 1),
-           std::to_string(r->server.requests_rejected)});
+    for (const auto& point : runs.points) {
+      const auto& r = point.result;
+      const auto& d = r.devices[0];
+      table.add_row({point.desc.coordinates[0], fmt(d.mean_throughput(), 2),
+                     std::to_string(d.totals.timeouts_network) + "/" +
+                         std::to_string(d.totals.timeouts_load),
+                     fmt(r.server.service_latency_us.mean() / 1000.0, 1),
+                     std::to_string(r.server.requests_rejected)});
     }
     std::cout << "(b) Overflow policy at the paper's limit of 15:\n"
               << table.render();
@@ -79,5 +97,6 @@ int main() {
                  "fast, attributable Tl signal the controller can act on --\n"
                  "the paper's design.\n";
   }
+  rt::shutdown_default_pool();
   return 0;
 }

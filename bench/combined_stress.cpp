@@ -8,6 +8,7 @@
 
 #include "ff/core/framefeedback.h"
 #include "ff/rt/thread_pool.h"
+#include "ff/sweep/sweep.h"
 
 int main() {
   using namespace ff;
@@ -15,21 +16,35 @@ int main() {
   std::cout << "=== Combined network + server-load stress (paper SIV-C) "
                "===\n\n";
 
-  core::Scenario net_only = core::Scenario::paper_network();
-  core::Scenario load_only = core::Scenario::paper_server_load();
-  core::Scenario combined = core::Scenario::paper_combined();
-  for (auto* s : {&net_only, &load_only, &combined}) s->seed = 42;
-
-  const auto factory =
-      core::make_controller_factory<control::FrameFeedbackController>();
-  const std::vector<const core::Scenario*> scenarios = {&net_only, &load_only,
-                                                        &combined};
-  const auto results = rt::parallel_map(scenarios.size(), [&](std::size_t i) {
-    return core::run_experiment(*scenarios[i], factory);
-  });
+  // The three stressor mixes differ structurally (whole preset scenarios),
+  // so the axis swaps the scenario wholesale instead of mutating a field.
+  sweep::SweepConfig cfg;
+  cfg.name = "combined_stress";
+  cfg.base = core::Scenario::paper_network();
+  cfg.seed_mode = sweep::SeedMode::kScenario;
+  cfg.axes.push_back(
+      {"stressors",
+       {{"network-only",
+         [](core::Scenario& s) {
+           s = core::Scenario::paper_network();
+           s.seed = 42;
+         }},
+        {"load-only",
+         [](core::Scenario& s) {
+           s = core::Scenario::paper_server_load();
+           s.seed = 42;
+         }},
+        {"combined", [](core::Scenario& s) {
+           s = core::Scenario::paper_combined();
+           s.seed = 42;
+         }}}});
+  cfg.controllers = {
+      {"frame-feedback",
+       core::make_controller_factory<control::FrameFeedbackController>()}};
+  const sweep::SweepResult runs = sweep::run(cfg);
 
   std::vector<const core::ExperimentResult*> ptrs;
-  for (const auto& r : results) ptrs.push_back(&r);
+  for (const auto& point : runs.points) ptrs.push_back(&point.result);
   core::plot_runs_labeled(std::cout,
                           "FrameFeedback throughput P (device pi4b_r14)", ptrs,
                           {"network-only", "load-only", "combined"}, "P", 0,
@@ -53,9 +68,9 @@ int main() {
     auto mean_p = [&](const core::ExperimentResult& r) {
       return r.devices[0].series.find("P")->mean_between(w.from, w.to);
     };
-    const double loss_net = 30.0 - mean_p(results[0]);
-    const double loss_load = 30.0 - mean_p(results[1]);
-    const double loss_combined = 30.0 - mean_p(results[2]);
+    const double loss_net = 30.0 - mean_p(runs.points[0].result);
+    const double loss_load = 30.0 - mean_p(runs.points[1].result);
+    const double loss_combined = 30.0 - mean_p(runs.points[2].result);
     table.add_row({fmt(sim_to_seconds(w.from), 0) + "-" +
                        fmt(sim_to_seconds(w.to), 0),
                    fmt(loss_net, 1), fmt(loss_load, 1),
@@ -64,13 +79,14 @@ int main() {
   std::cout << "Throughput deficit vs Fs=30 (additivity check):\n"
             << table.render();
 
+  const core::ExperimentResult& combined = runs.points[2].result;
   std::cout << "\nTimeout attribution in the combined run (device pi4b_r14):\n"
             << "  Tn (network): "
-            << sparkline(*results[2].devices[0].series.find("Tn")) << "\n"
+            << sparkline(*combined.devices[0].series.find("Tn")) << "\n"
             << "  Tl (load):    "
-            << sparkline(*results[2].devices[0].series.find("Tl")) << "\n"
-            << "\ntotals: Tn=" << results[2].devices[0].totals.timeouts_network
-            << " Tl=" << results[2].devices[0].totals.timeouts_load << "\n";
+            << sparkline(*combined.devices[0].series.find("Tl")) << "\n"
+            << "\ntotals: Tn=" << combined.devices[0].totals.timeouts_network
+            << " Tl=" << combined.devices[0].totals.timeouts_load << "\n";
 
   std::cout << "\nReading: where only one stressor is active the combined\n"
                "deficit tracks that stressor; where both peak (45-60s) the\n"
@@ -78,5 +94,6 @@ int main() {
                "because the controller only needs to dodge the binding\n"
                "constraint. This matches the paper's 'largely additive'\n"
                "characterization.\n";
+  rt::shutdown_default_pool();
   return 0;
 }

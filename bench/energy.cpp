@@ -7,6 +7,7 @@
 
 #include "ff/core/framefeedback.h"
 #include "ff/rt/thread_pool.h"
+#include "ff/sweep/sweep.h"
 
 int main() {
   using namespace ff;
@@ -21,7 +22,11 @@ int main() {
   scenario.uplink_template.initial = clean;
   scenario.downlink_template.initial = clean;
 
-  const std::vector<std::pair<std::string, core::ControllerFactory>> entries = {
+  sweep::SweepConfig cfg;
+  cfg.name = "energy";
+  cfg.base = scenario;
+  cfg.seed_mode = sweep::SeedMode::kScenario;
+  cfg.controllers = {
       {"local-only",
        core::make_controller_factory<control::LocalOnlyController>()},
       {"frame-feedback",
@@ -29,16 +34,13 @@ int main() {
       {"always-offload",
        core::make_controller_factory<control::AlwaysOffloadController>()},
   };
-
-  const auto results = rt::parallel_map(entries.size(), [&](std::size_t i) {
-    return core::run_experiment(scenario, entries[i].second);
-  });
+  const sweep::SweepResult runs = sweep::run(cfg);
 
   TextTable table({"controller", "mean draw (W)", "energy (J)",
                    "inferences", "J / inference", "P (fps)"});
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const auto& d = results[i].devices[0];
-    table.add_row({entries[i].first,
+  for (const auto& point : runs.points) {
+    const auto& d = point.result.devices[0];
+    table.add_row({point.desc.controller,
                    fmt(d.series.find("power_w")->stats().mean(), 2),
                    fmt(d.energy_joules, 0),
                    std::to_string(d.totals.successes()),
@@ -47,8 +49,9 @@ int main() {
   }
   std::cout << table.render();
 
-  const double j_local = results[0].devices[0].joules_per_inference();
-  const double j_offload = results[2].devices[0].joules_per_inference();
+  const double j_local = runs.points[0].result.devices[0].joules_per_inference();
+  const double j_offload =
+      runs.points[2].result.devices[0].joules_per_inference();
   std::cout << "\nOffloading delivers each inference for "
             << fmt(j_offload / j_local * 100, 0)
             << "% of the local energy cost (" << fmt(j_offload, 2) << " vs "
@@ -56,5 +59,6 @@ int main() {
             << "completes ~2.3x more frames.\nThis quantifies the paper's "
             << "SII-A observation that effective offloading lowers power "
             << "usage.\n";
+  rt::shutdown_default_pool();
   return 0;
 }

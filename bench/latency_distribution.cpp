@@ -8,6 +8,7 @@
 
 #include "ff/core/framefeedback.h"
 #include "ff/rt/thread_pool.h"
+#include "ff/sweep/sweep.h"
 
 int main() {
   using namespace ff;
@@ -22,7 +23,11 @@ int main() {
   scenario.uplink_template.initial = mid;
   scenario.downlink_template.initial = mid;
 
-  const std::vector<std::pair<std::string, core::ControllerFactory>> entries = {
+  sweep::SweepConfig cfg;
+  cfg.name = "latency_distribution";
+  cfg.base = scenario;
+  cfg.seed_mode = sweep::SeedMode::kScenario;
+  cfg.controllers = {
       {"frame-feedback",
        core::make_controller_factory<control::FrameFeedbackController>()},
       {"always-offload",
@@ -30,16 +35,13 @@ int main() {
       {"fixed @ 12 fps",
        core::make_controller_factory<control::FixedRateController>(12.0)},
   };
-
-  const auto results = rt::parallel_map(entries.size(), [&](std::size_t i) {
-    return core::run_experiment(scenario, entries[i].second);
-  });
+  const sweep::SweepResult runs = sweep::run(cfg);
 
   TextTable table({"controller", "offload ok", "p50 (ms)", "p95 (ms)",
                    "p99 (ms)", "max (ms)", "timeouts"});
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const auto& o = results[i].devices[0].offload;
-    table.add_row({entries[i].first, std::to_string(o.successes),
+  for (const auto& point : runs.points) {
+    const auto& o = point.result.devices[0].offload;
+    table.add_row({point.desc.controller, std::to_string(o.successes),
                    fmt(o.latency_p50.value() / 1000.0, 0),
                    fmt(o.latency_p95.value() / 1000.0, 0),
                    fmt(o.latency_p99.value() / 1000.0, 0),
@@ -74,5 +76,6 @@ int main() {
                "inside the deadline by not saturating the link; always-\n"
                "offload queues itself toward the cliff, converting the tail\n"
                "into timeouts.\n";
+  rt::shutdown_default_pool();
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "ff/core/framefeedback.h"
 #include "ff/rt/thread_pool.h"
+#include "ff/sweep/sweep.h"
 #include "ff/util/config.h"
 
 namespace {
@@ -43,6 +44,24 @@ int main(int argc, char** argv) {
   std::cout << "Sweeping " << grid.size() << " (Kp, Kd) pairs on the Fig. 2 "
             << "scenario (loss injected at t=27s), in parallel...\n\n";
 
+  ff::core::Scenario scenario = ff::core::Scenario::paper_tuning();
+  scenario.seed = seed;
+
+  ff::sweep::SweepConfig sweep_cfg;
+  sweep_cfg.name = "tuning_playground";
+  sweep_cfg.base = scenario;
+  sweep_cfg.seed_mode = ff::sweep::SeedMode::kScenario;
+  for (const auto& [kp, kd] : grid) {
+    ff::control::FrameFeedbackConfig c;
+    c.kp = kp;
+    c.kd = kd;
+    sweep_cfg.controllers.push_back(
+        {"Kp=" + ff::fmt(kp, 2) + ",Kd=" + ff::fmt(kd, 2),
+         ff::core::make_controller_factory<
+             ff::control::FrameFeedbackController>(c)});
+  }
+  const ff::sweep::SweepResult runs = ff::sweep::run(sweep_cfg);
+
   struct Entry {
     double kp, kd;
     ff::control::ResponseMetrics clean;
@@ -50,27 +69,21 @@ int main(int argc, char** argv) {
     double score;
   };
 
-  const auto entries = ff::rt::parallel_map(grid.size(), [&](std::size_t i) {
-    ff::core::Scenario scenario = ff::core::Scenario::paper_tuning();
-    scenario.seed = seed;
-    ff::control::FrameFeedbackConfig c;
-    c.kp = grid[i].first;
-    c.kd = grid[i].second;
-    auto result = ff::core::run_experiment(
-        scenario,
-        ff::core::make_controller_factory<
-            ff::control::FrameFeedbackController>(c));
+  std::vector<Entry> entries;
+  entries.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& result = runs.points[i].result;
     const auto& po = *result.devices[0].series.find("Po_target");
     Entry e;
-    e.kp = c.kp;
-    e.kd = c.kd;
+    e.kp = grid[i].first;
+    e.kd = grid[i].second;
     e.clean = ff::control::analyze_response(po, 0, 27 * ff::kSecond, 30.0);
     e.lossy = ff::control::analyze_response(po, 27 * ff::kSecond,
                                             result.duration, 30.0);
     e.score = ff::control::tuning_score(e.clean) +
               2.0 * e.lossy.steady_oscillation;
-    return e;
-  });
+    entries.push_back(e);
+  }
 
   ff::TextTable table({"Kp", "Kd", "rise (s)", "overshoot", "osc (clean)",
                        "osc (lossy)", "steady Po (lossy)", "score"});
@@ -91,5 +104,6 @@ int main(int argc, char** argv) {
   std::cout << "\nBest pair by composite score: Kp=" << best->kp
             << " Kd=" << best->kd
             << "  (the paper ships Kp=0.2, Kd=0.26)\n";
+  ff::rt::shutdown_default_pool();
   return 0;
 }

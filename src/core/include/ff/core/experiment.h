@@ -18,6 +18,7 @@
 #include "ff/obs/trace.h"
 #include "ff/server/edge_server.h"
 #include "ff/server/load_generator.h"
+#include "ff/sim/partition.h"
 #include "ff/sim/simulator.h"
 #include "ff/sim/timer.h"
 #include "ff/util/time_series.h"
@@ -92,8 +93,17 @@ class Experiment {
   void set_trace_sink(obs::TraceSink* sink);
 
   /// Access to live objects between construction and run(), for tests and
-  /// custom instrumentation.
-  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  /// custom instrumentation. In a partitioned run (Scenario::partitions
+  /// >= 1) this is partition 0 -- the server's partition.
+  [[nodiscard]] sim::Simulator& simulator() {
+    return psim_ ? psim_->partition(0) : *sim_;
+  }
+
+  /// The partitioned driver, or nullptr on the legacy single-simulator
+  /// path.
+  [[nodiscard]] sim::PartitionedSimulator* partitioned_simulator() {
+    return psim_.get();
+  }
   [[nodiscard]] server::EdgeServer& server() { return *server_; }
   [[nodiscard]] device::EdgeDevice& device(std::size_t i) {
     return *rigs_.at(i)->device;
@@ -108,26 +118,39 @@ class Experiment {
 
  private:
   struct DeviceRig {
+    /// The simulator this rig's entities execute on: the shared one in a
+    /// plain run, the device's partition in a partitioned run.
+    sim::Simulator* sim{nullptr};
     std::unique_ptr<NetworkedOffloadTransport> transport;
     std::unique_ptr<device::EdgeDevice> device;
     std::unique_ptr<control::Controller> controller;
     std::unique_ptr<sim::PeriodicTimer> control_timer;
+    /// Per-rig sampler (partitioned runs only): sampling must happen on
+    /// the rig's own partition, and one timer per rig keeps the event
+    /// count independent of the partition count.
+    std::unique_ptr<sim::PeriodicTimer> sample_timer;
     SeriesBundle series;
     models::EnergyMeter energy;
   };
 
   void build();
+  void build_partitioned();
   void control_tick(DeviceRig& rig);
   void sample_tick();
+  void sample_rig(DeviceRig& rig);
 
   Scenario scenario_;
   ControllerFactory factory_;
   std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::PartitionedSimulator> psim_;
   std::unique_ptr<server::EdgeServer> server_;
   std::unique_ptr<server::LoadGenerator> load_;
-  std::unique_ptr<net::SharedMedium> uplink_medium_;
+  /// Shared uplink media ("APs"); device i contends on medium i % size().
+  std::vector<std::unique_ptr<net::SharedMedium>> uplink_media_;
   std::vector<std::unique_ptr<DeviceRig>> rigs_;
   std::unique_ptr<sim::PeriodicTimer> sample_timer_;
+  /// Wraps the user's sink when partitioned workers emit concurrently.
+  std::unique_ptr<obs::SynchronizedTraceSink> synced_sink_;
   obs::TraceSink* trace_sink_{nullptr};
   bool ran_{false};
 };

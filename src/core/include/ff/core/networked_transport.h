@@ -30,6 +30,16 @@ class NetworkedOffloadTransport final : public device::OffloadTransport {
   NetworkedOffloadTransport(sim::Simulator& sim, server::EdgeServer& server,
                             NetworkedTransportConfig config);
 
+  /// Partitioned form: the device side (uplink serialization, response
+  /// handling) runs on `device_sim`, the server side (downlink
+  /// serialization, request submission) on `server_sim` -- which must be
+  /// the server's own simulator. Cross-partition routing is wired by
+  /// binding the path's links to boundary edges (Link::bind_boundary).
+  NetworkedOffloadTransport(sim::Simulator& device_sim,
+                            sim::Simulator& server_sim,
+                            server::EdgeServer& server,
+                            NetworkedTransportConfig config);
+
   void offload(std::uint64_t id, Bytes payload) override;
   void cancel(std::uint64_t id) override;
   void set_on_response(ResponseFn fn) override { on_response_ = std::move(fn); }
@@ -45,7 +55,6 @@ class NetworkedOffloadTransport final : public device::OffloadTransport {
  private:
   [[nodiscard]] net::ReliableChannel& uplink() { return path_.uplink(); }
 
-  sim::Simulator& sim_;
   server::EdgeServer& server_;
   NetworkedTransportConfig config_;
   net::DuplexPath path_;

@@ -32,6 +32,23 @@ struct Scenario {
   /// When true, all device uplinks contend on one shared wireless medium
   /// (a single AP) instead of independently shaped interfaces.
   bool shared_uplink_medium{false};
+  /// Number of independent shared media ("APs") when shared_uplink_medium
+  /// is set: device i contends on medium i % groups. 1 reproduces the
+  /// single-AP ablation; more groups give a partitioned run independent
+  /// contention domains to parallelize.
+  std::size_t uplink_medium_groups{1};
+
+  /// Parallel partitioned execution (sim::PartitionedSimulator). 0 runs
+  /// the legacy single-simulator path. K >= 1 shards the entity graph
+  /// into K partitions (server plus per-device-group shards) advanced in
+  /// conservative time windows; results are bit-identical for every
+  /// K >= 1 and every thread count, but differ from the K = 0 path in
+  /// event bookkeeping (per-rig samplers, per-link netem), so compare
+  /// fingerprints within one mode only.
+  std::size_t partitions{0};
+  /// Worker threads for partitioned windows: 0 = one per partition
+  /// (hardware-capped), 1 = serial. No effect on results.
+  unsigned partition_threads{0};
 
   server::ServerConfig server{};
   server::LoadSchedule background_load{};

@@ -42,6 +42,10 @@ Experiment::Experiment(Scenario scenario, ControllerFactory controllers)
 Experiment::~Experiment() = default;
 
 void Experiment::build() {
+  if (scenario_.partitions > 0) {
+    build_partitioned();
+    return;
+  }
   sim_ = std::make_unique<sim::Simulator>(scenario_.seed);
   server_ = std::make_unique<server::EdgeServer>(*sim_, scenario_.server);
 
@@ -51,13 +55,19 @@ void Experiment::build() {
   }
 
   if (scenario_.shared_uplink_medium) {
-    uplink_medium_ = std::make_unique<net::SharedMedium>("uplink-ap");
+    const std::size_t groups =
+        std::max<std::size_t>(scenario_.uplink_medium_groups, 1);
+    for (std::size_t g = 0; g < groups; ++g) {
+      uplink_media_.push_back(std::make_unique<net::SharedMedium>(
+          groups == 1 ? "uplink-ap" : "uplink-ap-" + std::to_string(g)));
+    }
   }
 
   std::vector<net::Link*> shaped_links;
   for (std::size_t i = 0; i < scenario_.devices.size(); ++i) {
     const auto& dconf = scenario_.devices[i];
     auto rig = std::make_unique<DeviceRig>();
+    rig->sim = sim_.get();
 
     NetworkedTransportConfig tconf;
     tconf.name = dconf.name;
@@ -74,8 +84,9 @@ void Experiment::build() {
     for (net::Link* link : rig->transport->path().links()) {
       shaped_links.push_back(link);
     }
-    if (uplink_medium_) {
-      rig->transport->path().forward_link().attach_medium(uplink_medium_.get());
+    if (!uplink_media_.empty()) {
+      rig->transport->path().forward_link().attach_medium(
+          uplink_media_[i % uplink_media_.size()].get());
     }
 
     rig->device =
@@ -98,7 +109,114 @@ void Experiment::build() {
       *sim_, [this](std::uint64_t) { sample_tick(); });
 }
 
+void Experiment::build_partitioned() {
+  sim::PartitionedSimulator::Options opts;
+  opts.partitions = scenario_.partitions;
+  opts.threads = scenario_.partition_threads;
+  psim_ = std::make_unique<sim::PartitionedSimulator>(scenario_.seed, opts);
+  const std::size_t parts = psim_->partition_count();
+
+  // Lookahead floor: no delivery crosses a link faster than the minimum
+  // propagation delay the run can ever configure -- the netem schedule's
+  // floor folded with the link templates' initial conditions.
+  SimDuration floor = scenario_.network.min_propagation_delay();
+  floor = std::min(floor, scenario_.uplink_template.initial.propagation_delay);
+  floor =
+      std::min(floor, scenario_.downlink_template.initial.propagation_delay);
+  if (floor <= 0) {
+    throw std::invalid_argument(
+        "Experiment: partitioned execution requires a strictly positive "
+        "propagation delay on every link and netem phase (the conservative "
+        "lookahead); this scenario's minimum is zero");
+  }
+
+  // Partition 0 hosts the server side: EdgeServer, background load, and
+  // every reverse link (server transmissions).
+  sim::Simulator& server_sim = psim_->partition(0);
+  server_ = std::make_unique<server::EdgeServer>(server_sim, scenario_.server);
+  if (!scenario_.background_load.empty()) {
+    load_ = std::make_unique<server::LoadGenerator>(
+        server_sim, *server_, scenario_.background_load, scenario_.background);
+  }
+
+  // A shared medium is one contention domain: all its links must live on
+  // one simulator, so devices of one medium group are co-partitioned.
+  const std::size_t groups =
+      scenario_.shared_uplink_medium
+          ? std::max<std::size_t>(scenario_.uplink_medium_groups, 1)
+          : 0;
+  if (scenario_.shared_uplink_medium) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      uplink_media_.push_back(std::make_unique<net::SharedMedium>(
+          groups == 1 ? "uplink-ap" : "uplink-ap-" + std::to_string(g)));
+    }
+  }
+
+  for (std::size_t i = 0; i < scenario_.devices.size(); ++i) {
+    const auto& dconf = scenario_.devices[i];
+    auto rig = std::make_unique<DeviceRig>();
+    const std::size_t group = scenario_.shared_uplink_medium ? i % groups : i;
+    const std::size_t part = group % parts;
+    sim::Simulator& dev_sim = psim_->partition(part);
+    rig->sim = &dev_sim;
+
+    NetworkedTransportConfig tconf;
+    tconf.name = dconf.name;
+    tconf.client_id = i + 1;
+    tconf.model = dconf.model;
+    tconf.uplink = scenario_.uplink_template;
+    tconf.uplink.name = dconf.name + "/up";
+    tconf.downlink = scenario_.downlink_template;
+    tconf.downlink.name = dconf.name + "/down";
+    tconf.transport = scenario_.transport;
+    rig->transport = std::make_unique<NetworkedOffloadTransport>(
+        dev_sim, server_sim, *server_, std::move(tconf));
+
+    // Each link crosses from its sender's partition to the receiver's;
+    // self-edges (device in partition 0) still route through the mailbox
+    // so the delivery order contract is identical at every K.
+    net::Link& fwd = rig->transport->path().forward_link();
+    net::Link& rev = rig->transport->path().reverse_link();
+    fwd.bind_boundary(&psim_->add_edge(part, 0, floor));
+    rev.bind_boundary(&psim_->add_edge(0, part, floor));
+
+    // Netem is applied per link on the link's home simulator: phase
+    // changes are sender-side state, and one event per (phase, link)
+    // keeps the event count independent of the partition count.
+    scenario_.network.apply(fwd.simulator(), {&fwd});
+    scenario_.network.apply(rev.simulator(), {&rev});
+
+    if (!uplink_media_.empty()) {
+      fwd.attach_medium(uplink_media_[group].get());
+    }
+
+    rig->device =
+        std::make_unique<device::EdgeDevice>(dev_sim, *rig->transport, dconf);
+    rig->controller = factory_(i);
+    if (!rig->controller) {
+      throw std::invalid_argument(
+          "Experiment: controller factory returned null");
+    }
+
+    DeviceRig* raw = rig.get();
+    rig->control_timer = std::make_unique<sim::PeriodicTimer>(
+        dev_sim, [this, raw](std::uint64_t) { control_tick(*raw); });
+    rig->sample_timer = std::make_unique<sim::PeriodicTimer>(
+        dev_sim, [this, raw](std::uint64_t) { sample_rig(*raw); });
+    rigs_.push_back(std::move(rig));
+  }
+}
+
 void Experiment::set_trace_sink(obs::TraceSink* sink) {
+  // Partitioned windows emit from worker threads concurrently; TraceSink
+  // implementations are single-threaded by contract, so interpose the
+  // serializing wrapper.
+  if (psim_ != nullptr && sink != nullptr) {
+    synced_sink_ = std::make_unique<obs::SynchronizedTraceSink>(*sink);
+    sink = synced_sink_.get();
+  } else {
+    synced_sink_.reset();
+  }
   trace_sink_ = sink;
   server_->attach_trace_sink(sink);
   for (auto& rig : rigs_) {
@@ -123,7 +241,7 @@ void Experiment::control_tick(DeviceRig& rig) {
   if (ctl.wants_probe()) dev.send_probe();
 
   if (trace_sink_ != nullptr) {
-    obs::TraceEvent event(sim_->now(), obs::ev::kControlTick,
+    obs::TraceEvent event(rig.sim->now(), obs::ev::kControlTick,
                           dev.config().name);
     event.with("po", po)
         .with("T", input.timeout_rate)
@@ -138,25 +256,27 @@ void Experiment::control_tick(DeviceRig& rig) {
 }
 
 void Experiment::sample_tick() {
-  const SimTime now = sim_->now();
-  for (auto& rig : rigs_) {
-    device::EdgeDevice& dev = *rig->device;
-    device::Telemetry& t = dev.telemetry();
-    rig->series.series("P").record(now, t.throughput(now));
-    rig->series.series("Pl").record(now, t.local_rate(now));
-    rig->series.series("Po_target").record(now, dev.offload_rate());
-    rig->series.series("Po_achieved").record(now, t.offload_attempt_rate(now));
-    rig->series.series("Po_success").record(now, t.offload_success_rate(now));
-    rig->series.series("T").record(now, t.timeout_rate(now));
-    rig->series.series("Tn").record(now, t.network_timeout_rate(now));
-    rig->series.series("Tl").record(now, t.load_timeout_rate(now));
-    rig->series.series("cpu").record(now, dev.cpu_utilization());
-    rig->series.series("quality").record(now, dev.frame_spec().jpeg_quality);
-    rig->series.series("accuracy").record(now, dev.effective_accuracy());
-    const double power = dev.power_draw_w();
-    rig->series.series("power_w").record(now, power);
-    rig->energy.accumulate(power, scenario_.sample_period);
-  }
+  for (auto& rig : rigs_) sample_rig(*rig);
+}
+
+void Experiment::sample_rig(DeviceRig& rig) {
+  const SimTime now = rig.sim->now();
+  device::EdgeDevice& dev = *rig.device;
+  device::Telemetry& t = dev.telemetry();
+  rig.series.series("P").record(now, t.throughput(now));
+  rig.series.series("Pl").record(now, t.local_rate(now));
+  rig.series.series("Po_target").record(now, dev.offload_rate());
+  rig.series.series("Po_achieved").record(now, t.offload_attempt_rate(now));
+  rig.series.series("Po_success").record(now, t.offload_success_rate(now));
+  rig.series.series("T").record(now, t.timeout_rate(now));
+  rig.series.series("Tn").record(now, t.network_timeout_rate(now));
+  rig.series.series("Tl").record(now, t.load_timeout_rate(now));
+  rig.series.series("cpu").record(now, dev.cpu_utilization());
+  rig.series.series("quality").record(now, dev.frame_spec().jpeg_quality);
+  rig.series.series("accuracy").record(now, dev.effective_accuracy());
+  const double power = dev.power_draw_w();
+  rig.series.series("power_w").record(now, power);
+  rig.energy.accumulate(power, scenario_.sample_period);
 }
 
 ExperimentResult Experiment::run() {
@@ -176,16 +296,23 @@ ExperimentResult Experiment::run() {
   // the period's settled state; the first sample lands half a sample
   // period after the last rig's first control tick, so no series ever
   // records the pre-control transient.
-  sample_timer_->start(scenario_.sample_period,
-                       first_control + scenario_.sample_period / 2);
-
-  sim_->run_until(scenario_.duration);
+  const SimTime first_sample = first_control + scenario_.sample_period / 2;
+  if (psim_) {
+    for (auto& rig : rigs_) {
+      rig->sample_timer->start(scenario_.sample_period, first_sample);
+    }
+    psim_->run_until(scenario_.duration);
+  } else {
+    sample_timer_->start(scenario_.sample_period, first_sample);
+    sim_->run_until(scenario_.duration);
+  }
 
   ExperimentResult result;
   result.scenario = scenario_.name;
   result.seed = scenario_.seed;
-  result.duration = sim_->now();
-  result.events_executed = sim_->events_executed();
+  result.duration = psim_ ? psim_->now() : sim_->now();
+  result.events_executed =
+      psim_ ? psim_->events_executed() : sim_->events_executed();
   result.server = server_->stats();
   result.server_gpu_utilization = server_->gpu_utilization();
 

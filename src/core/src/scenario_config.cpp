@@ -51,6 +51,17 @@ Scenario scenario_from_config(const Config& config) {
   }
   s.shared_uplink_medium = config.get_bool("shared_medium",
                                            s.shared_uplink_medium);
+  s.uplink_medium_groups = static_cast<std::size_t>(std::max<std::int64_t>(
+      config.get_int("medium_groups",
+                     static_cast<std::int64_t>(s.uplink_medium_groups)),
+      1));
+  s.partitions = static_cast<std::size_t>(std::max<std::int64_t>(
+      config.get_int("partitions", static_cast<std::int64_t>(s.partitions)),
+      0));
+  s.partition_threads = static_cast<unsigned>(std::max<std::int64_t>(
+      config.get_int("partition_threads",
+                     static_cast<std::int64_t>(s.partition_threads)),
+      0));
 
   // Device overrides apply to every device; `devices` replicates the
   // first device to the requested count.

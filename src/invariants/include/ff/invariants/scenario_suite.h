@@ -27,12 +27,18 @@ struct DisturbanceScenario {
   /// disturbance is present from the first frame (no clean baseline).
   SimTime disturbance_start{0};
   SimTime disturbance_end{0};
+  /// When > 0, the harness re-runs the scenario with this partition count
+  /// and adds a partition_fingerprint_equality check: the re-run's result
+  /// fingerprint must equal the base run's bit-for-bit. The base scenario
+  /// must itself set partitions >= 1 (fingerprints are only comparable
+  /// within the partitioned mode).
+  std::size_t compare_partitions{0};
 };
 
 /// The default suite: loss_burst, bandwidth_collapse, retry_storm,
-/// server_overload, server_stall and device_churn. Every scenario is
-/// deterministic (fixed seed) so harness runs are reproducible and
-/// replayable bit-for-bit.
+/// server_overload, server_stall, device_churn and partition_determinism.
+/// Every scenario is deterministic (fixed seed) so harness runs are
+/// reproducible and replayable bit-for-bit.
 [[nodiscard]] std::vector<DisturbanceScenario> default_suite();
 
 /// Scenario with `name` from the default suite. Throws

@@ -79,6 +79,26 @@ ScenarioReport run_scenario(const DisturbanceScenario& scenario,
       scenario, result, options.thresholds,
       options.measure_event_cost ? probe.p99_us() : -1.0);
 
+  // Partitioned-kernel determinism: re-run with the comparison partition
+  // count; the result fingerprint must match bit-for-bit.
+  if (scenario.compare_partitions > 0) {
+    core::Scenario repartitioned = scenario.scenario;
+    repartitioned.partitions = scenario.compare_partitions;
+    const core::ExperimentResult other = core::run_experiment(
+        repartitioned, factory_for(scenario.controller));
+    const std::uint64_t other_fp = sweep::result_fingerprint(other);
+    InvariantCheck check;
+    check.name = "partition_fingerprint_equality";
+    check.passed = other_fp == report.fingerprint;
+    check.observed = static_cast<double>(other_fp);
+    check.bound = static_cast<double>(report.fingerprint);
+    check.detail = "K=" + std::to_string(scenario.scenario.partitions) +
+                   " vs K=" + std::to_string(scenario.compare_partitions) +
+                   (check.passed ? " fingerprints match"
+                                 : " fingerprints DIVERGE");
+    report.checks.push_back(std::move(check));
+  }
+
   const bool want_capture =
       !options.capture_dir.empty() && (!report.passed() || options.capture_all);
   if (!want_capture) return report;

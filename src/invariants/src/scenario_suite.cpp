@@ -135,11 +135,40 @@ DisturbanceScenario device_churn() {
   return d;
 }
 
+DisturbanceScenario partition_determinism() {
+  DisturbanceScenario d;
+  d.name = "partition_determinism";
+  d.description =
+      "four devices in two shared-medium groups under a loss burst, run "
+      "on the partitioned kernel; K=1 and K=4 must fingerprint-match";
+  d.scenario = base(d.name, 60 * kSecond);
+  device::DeviceConfig peer = d.scenario.devices[0];
+  for (int i = 0; i < 3; ++i) d.scenario.add_device(peer);
+  d.scenario.shared_uplink_medium = true;
+  d.scenario.uplink_medium_groups = 2;
+  d.scenario.partitions = 1;
+  d.scenario.background_load = server::LoadSchedule::constant(Rate{40});
+  const net::LinkConditions clean{Bandwidth::mbps(10.0), 0.0,
+                                  2 * kMillisecond};
+  net::LinkConditions lossy = clean;
+  lossy.loss_probability = 0.10;
+  net::NetemSchedule sched;
+  sched.add(0, clean, "clean")
+      .add(kOn, lossy, "loss-burst")
+      .add(kOff, clean, "recovered");
+  set_network(d.scenario, sched);
+  d.disturbance_start = kOn;
+  d.disturbance_end = kOff;
+  d.compare_partitions = 4;
+  return d;
+}
+
 }  // namespace
 
 std::vector<DisturbanceScenario> default_suite() {
-  return {loss_burst(),      bandwidth_collapse(), retry_storm(),
-          server_overload(), server_stall(),       device_churn()};
+  return {loss_burst(),    bandwidth_collapse(), retry_storm(),
+          server_overload(), server_stall(),     device_churn(),
+          partition_determinism()};
 }
 
 DisturbanceScenario find_scenario(const std::string& name) {

@@ -19,6 +19,10 @@
 #include "ff/sim/simulator.h"
 #include "ff/util/stats.h"
 
+namespace ff::sim {
+class BoundaryEdge;
+}  // namespace ff::sim
+
 namespace ff::net {
 
 class SharedMedium;
@@ -48,6 +52,21 @@ struct LinkStats {
   StreamingStats total_delay_us{};       ///< enqueue -> delivery
 };
 
+/// Ordering contract (what makes multi-link runs deterministic):
+///
+///  - Serialization is strictly FIFO per link; within one link, packets
+///    enter service in send() order and no packet overtakes another.
+///  - Packets that complete service at the same simulated time are
+///    delivered in the kernel's (time, sequence) order, i.e. the order
+///    their delivery events were scheduled -- which is serialization
+///    completion order. No tie is ever broken by wall-clock, pointer
+///    value, or container iteration order.
+///  - When the link crosses a partition boundary (bind_boundary), the
+///    delivery is routed through the edge's mailbox instead of being
+///    scheduled directly; the partitioned driver re-establishes the same
+///    (deliver time, post time, edge, FIFO) order canonically, so the
+///    receiver observes an identical delivery sequence at every
+///    partition count.
 class Link {
  public:
   using DeliveryFn = std::function<void(const Packet&)>;
@@ -89,6 +108,19 @@ class Link {
   /// Not owned.
   void attach_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
 
+  /// Routes deliveries through a cross-partition mailbox instead of the
+  /// home simulator (nullptr restores direct scheduling). The edge's
+  /// min_delay must not exceed this link's minimum propagation delay over
+  /// the run -- that is the lookahead contract; BoundaryEdge::post asserts
+  /// it per delivery. Sender-side state (queue, stats fields written
+  /// before delivery, RNG) stays on the home simulator; only the delivery
+  /// action executes in the destination partition. `edge` must outlive
+  /// the link's traffic.
+  void bind_boundary(sim::BoundaryEdge* edge) { boundary_ = edge; }
+
+  /// Simulator this link serializes on (the sender side's partition).
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
   [[nodiscard]] const LinkConditions& conditions() const { return conditions_; }
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
   [[nodiscard]] const std::string& name() const { return config_.name; }
@@ -114,7 +146,11 @@ class Link {
 
   void start_service();
   void serve_front();
-  void finish_service(Packet packet, SimTime enqueued_at);
+  void finish_service(Packet packet);
+  /// Delivery body, run at `deliver_at` on the receiver side (directly on
+  /// the home simulator, or in the destination partition when a boundary
+  /// is bound). Touches only receiver-side stats fields.
+  void deliver(const Packet& packet, SimTime deliver_at);
 
   sim::Simulator& sim_;
   LinkConfig config_;
@@ -132,6 +168,7 @@ class Link {
       queued_data_;
   bool busy_{false};
   SharedMedium* medium_{nullptr};
+  sim::BoundaryEdge* boundary_{nullptr};
   LinkStats stats_;
   obs::TraceSink* sink_{nullptr};
 };

@@ -44,6 +44,12 @@ class NetemSchedule {
   /// Links must outlive the simulation run.
   void apply(sim::Simulator& sim, std::vector<Link*> links) const;
 
+  /// Minimum propagation delay over all phases (SimDuration max when the
+  /// schedule is empty -- callers fold in the links' initial conditions).
+  /// This is the schedule's contribution to a partitioned run's lookahead:
+  /// no delivery crosses a partition boundary faster than this.
+  [[nodiscard]] SimDuration min_propagation_delay() const;
+
   /// The paper's Table V schedule. Bandwidth values are the table's
   /// 10/4/1 figures scaled by `bandwidth_unit` (defaults to Mbps -- see
   /// DESIGN.md "Unit note").

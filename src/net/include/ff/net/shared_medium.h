@@ -5,6 +5,14 @@
 // access point shared by all devices (the paper shapes each Pi's
 // interface independently; this ablation asks what changes when they
 // share the channel instead).
+//
+// Ordering contract: grants are issued strictly in request order (FIFO
+// deque), and requests are made from simulator events, so grant order is
+// fully determined by the kernel's (time, sequence) event order -- never
+// by pointer values or hash iteration. Partitioning note: the medium is
+// plain mutable state shared by its links, so all links of one medium
+// must live on the same simulator (the partitioned experiment builder
+// co-locates each medium group in one partition).
 
 #include <deque>
 #include <string>

@@ -50,6 +50,14 @@ struct ChannelStats {
 /// One direction of reliable messaging: data packets ride `data_link`,
 /// acks ride `ack_link`. The owner must route incoming packets to
 /// `handle_data` / `handle_ack` (see DuplexPath).
+///
+/// Partitioning: the channel's two sides may live on different simulators
+/// (taken from the links). Sender-side operations -- send, cancel, the
+/// RTO timers, handle_ack -- execute on `data_link.simulator()`;
+/// receiver-side operations -- handle_data, ack emission, reassembly GC
+/// -- on `ack_link.simulator()`. The two sides touch disjoint state
+/// (outbox vs inbox; disjoint ChannelStats fields), so a partitioned run
+/// never races on a channel.
 class ReliableChannel {
  public:
   /// Receiver-side delivery: (message_id, payload_bytes).
@@ -57,9 +65,10 @@ class ReliableChannel {
   /// Sender-side resolution: (message_id, success).
   using SendResultFn = std::function<void(std::uint64_t, bool)>;
 
-  ReliableChannel(sim::Simulator& sim, Link& data_link, Link& ack_link,
-                  std::uint64_t flow_id, TransportConfig config,
-                  std::string name = "chan");
+  /// The sender side runs on `data_link.simulator()`, the receiver side
+  /// on `ack_link.simulator()` (identical in unpartitioned runs).
+  ReliableChannel(Link& data_link, Link& ack_link, std::uint64_t flow_id,
+                  TransportConfig config, std::string name = "chan");
 
   ReliableChannel(const ReliableChannel&) = delete;
   ReliableChannel& operator=(const ReliableChannel&) = delete;
@@ -117,7 +126,8 @@ class ReliableChannel {
   [[nodiscard]] Bytes fragment_wire_size(const OutMessage& m,
                                          std::uint32_t fragment) const;
 
-  sim::Simulator& sim_;
+  sim::Simulator& send_sim_;  ///< data_link's simulator: sender-side ops
+  sim::Simulator& recv_sim_;  ///< ack_link's simulator: receiver-side ops
   Link& data_link_;
   Link& ack_link_;
   std::uint64_t flow_id_;
@@ -140,6 +150,14 @@ class ReliableChannel {
 class DuplexPath {
  public:
   DuplexPath(sim::Simulator& sim, LinkConfig forward, LinkConfig reverse,
+             TransportConfig transport = {}, std::string name = "path");
+
+  /// Partitioned form: the forward link (A's transmissions -- uplink data
+  /// and downlink acks) serializes on `forward_sim`, the reverse link
+  /// (B's transmissions) on `reverse_sim`. Bind each link to a boundary
+  /// edge (Link::bind_boundary) to route deliveries across.
+  DuplexPath(sim::Simulator& forward_sim, sim::Simulator& reverse_sim,
+             LinkConfig forward, LinkConfig reverse,
              TransportConfig transport = {}, std::string name = "path");
 
   DuplexPath(const DuplexPath&) = delete;

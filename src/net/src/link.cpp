@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ff/net/shared_medium.h"
+#include "ff/sim/partition.h"
 #include "ff/util/logging.h"
 
 namespace ff::net {
@@ -119,12 +120,12 @@ void Link::serve_front() {
   const SimDuration ser = conditions_.bandwidth.serialization_time(packet.size);
   sim_.schedule_in(ser, [this, packet] {
     if (medium_) medium_->release(this);
-    finish_service(packet, packet.enqueued_at);
+    finish_service(packet);
     start_service();
   });
 }
 
-void Link::finish_service(Packet packet, SimTime enqueued_at) {
+void Link::finish_service(Packet packet) {
   if (loss_->drop(rng_)) {
     ++stats_.packets_lost;
     FF_TRACE(config_.name) << "loss msg=" << packet.message_id
@@ -138,12 +139,25 @@ void Link::finish_service(Packet packet, SimTime enqueued_at) {
   }
   SimDuration delay = conditions_.propagation_delay;
   if (jitter_) delay += jitter_->sample(rng_);
-  sim_.schedule_in(delay, [this, packet, enqueued_at] {
-    ++stats_.packets_delivered;
-    stats_.bytes_delivered += packet.size.count;
-    stats_.total_delay_us.add(static_cast<double>(sim_.now() - enqueued_at));
-    if (receiver_) receiver_(packet);
+  const SimTime deliver_at = sim_.now() + std::max<SimDuration>(delay, 0);
+  if (boundary_ != nullptr) {
+    boundary_->post(sim_.now(), deliver_at,
+                    sim::InlineTask([this, packet, deliver_at] {
+                      deliver(packet, deliver_at);
+                    }));
+    return;
+  }
+  sim_.schedule_at(deliver_at, [this, packet, deliver_at] {
+    deliver(packet, deliver_at);
   });
+}
+
+void Link::deliver(const Packet& packet, SimTime deliver_at) {
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += packet.size.count;
+  stats_.total_delay_us.add(
+      static_cast<double>(deliver_at - packet.enqueued_at));
+  if (receiver_) receiver_(packet);
 }
 
 }  // namespace ff::net

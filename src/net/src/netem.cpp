@@ -1,5 +1,7 @@
 #include "ff/net/netem.h"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -42,6 +44,14 @@ void NetemSchedule::apply(sim::Simulator& sim, std::vector<Link*> links) const {
       for (Link* link : links) link->set_conditions(conditions);
     });
   }
+}
+
+SimDuration NetemSchedule::min_propagation_delay() const {
+  SimDuration floor = std::numeric_limits<SimDuration>::max();
+  for (const auto& phase : phases_) {
+    floor = std::min(floor, phase.conditions.propagation_delay);
+  }
+  return floor;
 }
 
 NetemSchedule NetemSchedule::paper_table_v(Bandwidth bandwidth_unit) {

@@ -8,10 +8,11 @@
 
 namespace ff::net {
 
-ReliableChannel::ReliableChannel(sim::Simulator& sim, Link& data_link,
-                                 Link& ack_link, std::uint64_t flow_id,
-                                 TransportConfig config, std::string name)
-    : sim_(sim),
+ReliableChannel::ReliableChannel(Link& data_link, Link& ack_link,
+                                 std::uint64_t flow_id, TransportConfig config,
+                                 std::string name)
+    : send_sim_(data_link.simulator()),
+      recv_sim_(ack_link.simulator()),
       data_link_(data_link),
       ack_link_(ack_link),
       flow_id_(flow_id),
@@ -65,10 +66,11 @@ void ReliableChannel::transmit_fragment(std::uint64_t message_id,
   if (attempt > 0) {
     ++stats_.retransmissions;
     if (sink_) {
-      sink_->emit(obs::TraceEvent(sim_.now(), obs::ev::kNetRetransmit, name_)
-                      .with_id(message_id)
-                      .with("frag", fragment)
-                      .with("attempt", attempt));
+      sink_->emit(
+          obs::TraceEvent(send_sim_.now(), obs::ev::kNetRetransmit, name_)
+              .with_id(message_id)
+              .with("frag", fragment)
+              .with("attempt", attempt));
     }
   }
   // A tail drop behaves exactly like random loss: the RTO repairs it.
@@ -80,7 +82,7 @@ void ReliableChannel::arm_rto(std::uint64_t message_id, std::uint32_t fragment,
                               int attempt) {
   const int shift = std::min(attempt, config_.rto_backoff_cap);
   const SimDuration rto = config_.rto << shift;
-  sim_.schedule_in(rto, [this, message_id, fragment, attempt] {
+  send_sim_.schedule_in(rto, [this, message_id, fragment, attempt] {
     const auto it = outbox_.find(message_id);
     if (it == outbox_.end() || it->second.acked[fragment]) return;
     if (it->second.retries[fragment] >= config_.max_retries) {
@@ -88,9 +90,10 @@ void ReliableChannel::arm_rto(std::uint64_t message_id, std::uint32_t fragment,
       FF_DEBUG(name_) << "message " << message_id << " failed (fragment "
                       << fragment << " exhausted retries)";
       if (sink_) {
-        sink_->emit(obs::TraceEvent(sim_.now(), obs::ev::kNetSendFailed, name_)
-                        .with_id(message_id)
-                        .with("frag", fragment));
+        sink_->emit(
+            obs::TraceEvent(send_sim_.now(), obs::ev::kNetSendFailed, name_)
+                .with_id(message_id)
+                .with("frag", fragment));
       }
       outbox_.erase(it);
       (void)data_link_.purge(flow_id_, message_id);
@@ -148,7 +151,7 @@ void ReliableChannel::handle_data(const Packet& packet) {
   if (inserted) {
     m.fragment_count = packet.fragment_count;
     m.received.assign(m.fragment_count, false);
-    m.first_fragment_at = sim_.now();
+    m.first_fragment_at = recv_sim_.now();
     gc_partials();
   }
   if (packet.fragment_index >= m.fragment_count ||
@@ -194,7 +197,7 @@ void ReliableChannel::remember_completed(std::uint64_t message_id) {
 }
 
 void ReliableChannel::gc_partials() {
-  const SimTime cutoff = sim_.now() - config_.reassembly_timeout;
+  const SimTime cutoff = recv_sim_.now() - config_.reassembly_timeout;
   for (auto it = inbox_.begin(); it != inbox_.end();) {
     if (it->second.first_fragment_at < cutoff) {
       ++stats_.partials_expired;
@@ -208,10 +211,16 @@ void ReliableChannel::gc_partials() {
 DuplexPath::DuplexPath(sim::Simulator& sim, LinkConfig forward,
                        LinkConfig reverse, TransportConfig transport,
                        std::string name)
-    : forward_(sim, std::move(forward)),
-      reverse_(sim, std::move(reverse)),
-      uplink_(sim, forward_, reverse_, 0, transport, name + "/up"),
-      downlink_(sim, reverse_, forward_, 1, transport, name + "/down") {
+    : DuplexPath(sim, sim, std::move(forward), std::move(reverse), transport,
+                 std::move(name)) {}
+
+DuplexPath::DuplexPath(sim::Simulator& forward_sim, sim::Simulator& reverse_sim,
+                       LinkConfig forward, LinkConfig reverse,
+                       TransportConfig transport, std::string name)
+    : forward_(forward_sim, std::move(forward)),
+      reverse_(reverse_sim, std::move(reverse)),
+      uplink_(forward_, reverse_, 0, transport, name + "/up"),
+      downlink_(reverse_, forward_, 1, transport, name + "/down") {
   // Forward link carries uplink data and downlink acks.
   forward_.set_receiver([this](const Packet& p) {
     if (p.kind == PacketKind::kData) {

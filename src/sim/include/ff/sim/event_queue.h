@@ -28,6 +28,14 @@
 // (time, sequence) order is a strict total order, so it is independent of
 // heap arity and internal layout.
 //
+// The 40-bit sequence space is split into two bands. Internal events --
+// everything scheduled through schedule() -- draw monotonically from
+// [0, kExternalSequenceBase). Cross-partition deliveries injected by
+// sim::PartitionedSimulator carry caller-assigned sequences in
+// [kExternalSequenceBase, 2^40): at equal timestamps every internal event
+// therefore sorts before every delivery, and the driver's global
+// assignment order -- not thread scheduling -- decides delivery order.
+//
 // Hot-path members are defined inline here: the per-event cost is a few
 // dozen nanoseconds, so a cross-TU call boundary per pop would be a
 // measurable fraction of the budget.
@@ -82,6 +90,20 @@ class EventQueue {
 
   /// Schedules an already-built task at absolute time `t`.
   EventId schedule(SimTime t, InlineTask action);
+
+  /// First sequence of the external band (see the ordering note above).
+  /// Internal sequences assert they stay below it; external ones assert
+  /// they stay inside it.
+  static constexpr std::uint64_t kExternalSequenceBase = std::uint64_t{1}
+      << 39;
+
+  /// Schedules `action` at `t` under a caller-assigned sequence from the
+  /// external band. The caller owns uniqueness (the partitioned driver
+  /// assigns from one global counter) and ordering: at equal `t`, events
+  /// compare by sequence, so externals run after all internal events of
+  /// that timestamp, in assignment order.
+  EventId schedule_external(SimTime t, std::uint64_t sequence,
+                            InlineTask action);
 
   /// Cancels the event, releasing its callable immediately. Returns false
   /// if the id is unknown, already executed, or already cancelled.
@@ -221,6 +243,12 @@ class EventQueue {
 
   EventId push_entry(SimTime t, std::uint32_t slot) {
     const std::uint64_t seq = next_sequence_++;
+    assert(seq < kExternalSequenceBase &&
+           "internal event sequences must stay below the external band");
+    return push_entry_with(t, slot, seq);
+  }
+
+  EventId push_entry_with(SimTime t, std::uint32_t slot, std::uint64_t seq) {
     assert(seq < (std::uint64_t{1} << (64 - kSlotBits)) &&
            "event sequence exceeds the EventId packing range");
     slot_at(slot).sequence = seq;

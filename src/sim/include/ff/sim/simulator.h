@@ -43,6 +43,16 @@ class Simulator {
     return queue_.schedule(std::max(t, now_), std::forward<F>(action));
   }
 
+  /// Schedules a cross-partition delivery at absolute time `t` (clamped to
+  /// >= now) under a caller-assigned sequence from the external band (see
+  /// EventQueue::kExternalSequenceBase). Used by sim::PartitionedSimulator
+  /// when draining boundary mailboxes; not for ordinary scheduling.
+  EventId schedule_external(SimTime t, std::uint64_t sequence,
+                            InlineTask action) {
+    return queue_.schedule_external(std::max(t, now_), sequence,
+                                    std::move(action));
+  }
+
   /// Cancels a pending event. Safe to call with stale/executed ids.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
@@ -58,6 +68,10 @@ class Simulator {
 
   /// True when no events are pending.
   [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Time of the earliest pending event; only valid when !idle(). The
+  /// partitioned driver reads this to compute the global safe horizon.
+  [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 

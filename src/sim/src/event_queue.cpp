@@ -8,6 +8,15 @@ EventId EventQueue::schedule(SimTime t, InlineTask action) {
   return push_entry(t, slot);
 }
 
+EventId EventQueue::schedule_external(SimTime t, std::uint64_t sequence,
+                                      InlineTask action) {
+  assert(sequence >= kExternalSequenceBase &&
+         "external sequences must come from the external band");
+  const std::uint32_t slot = acquire_slot();
+  slot_at(slot).task = std::move(action);
+  return push_entry_with(t, slot, sequence);
+}
+
 EventQueue::~EventQueue() {
   for (std::uint32_t i = 0; i < slot_count_; ++i) slot_at(i).~Slot();
   for (Slot* chunk : chunks_) {

@@ -38,6 +38,12 @@ struct Axis {
   std::vector<AxisValue> values;
 };
 
+/// Axis over Scenario::partitions ("K=<n>" labels; 0 = the legacy
+/// single-simulator path). Partitioned points (K >= 1) produce identical
+/// fingerprints for every K -- sweeping this axis is the determinism
+/// matrix -- while K = 0 differs in event bookkeeping only.
+[[nodiscard]] Axis partition_axis(std::vector<std::size_t> counts);
+
 /// A controller under test. Factories are invoked concurrently from pool
 /// workers and must be pure (capture configuration by value, allocate a
 /// fresh controller per call).

@@ -288,6 +288,17 @@ SweepResult run(const SweepConfig& config) {
   return result;
 }
 
+Axis partition_axis(std::vector<std::size_t> counts) {
+  Axis axis;
+  axis.name = "partitions";
+  for (const std::size_t k : counts) {
+    axis.values.push_back(AxisValue{
+        "K=" + std::to_string(k),
+        [k](core::Scenario& s) { s.partitions = k; }});
+  }
+  return axis;
+}
+
 std::uint64_t result_fingerprint(const core::ExperimentResult& result) {
   Fnv64 f;
   f.mix_str(result.scenario);

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "ff/control/frame_feedback.h"
+#include "ff/core/experiment.h"
+#include "ff/sweep/sweep.h"
+
+namespace ff::core {
+namespace {
+
+/// A small but genuinely multi-device scenario: four devices in two
+/// shared-medium groups, a loss burst mid-run, background server load --
+/// enough cross-partition traffic to catch any ordering leak.
+Scenario partition_scenario(std::uint64_t seed) {
+  Scenario s = Scenario::ideal(20 * kSecond);
+  s.name = "partition-determinism";
+  s.seed = seed;
+  const device::DeviceConfig proto = s.devices.at(0);
+  s.devices.clear();
+  for (int i = 0; i < 4; ++i) {
+    device::DeviceConfig d = proto;
+    d.name = "pi-" + std::to_string(i);
+    s.add_device(std::move(d));
+  }
+  s.shared_uplink_medium = true;
+  s.uplink_medium_groups = 2;
+  s.network = net::NetemSchedule::loss_injection(8 * kSecond, 0.05,
+                                                 Bandwidth::mbps(10.0));
+  s.background_load = server::LoadSchedule::constant(Rate{40.0});
+  return s;
+}
+
+std::uint64_t fingerprint_at(std::uint64_t seed, std::size_t partitions,
+                             unsigned threads) {
+  Scenario s = partition_scenario(seed);
+  s.partitions = partitions;
+  s.partition_threads = threads;
+  ExperimentResult r = run_experiment(
+      s, make_controller_factory<control::FrameFeedbackController>());
+  return sweep::result_fingerprint(r);
+}
+
+/// The tentpole acceptance criterion: bit-identical result fingerprints
+/// for every partition count, over several seeds.
+TEST(PartitionDeterminism, FingerprintMatrixAcrossPartitionCounts) {
+  for (const std::uint64_t seed : {42ull, 7ull, 1234ull}) {
+    const std::uint64_t reference = fingerprint_at(seed, 1, 1);
+    for (const std::size_t k : {std::size_t{2}, std::size_t{4},
+                                std::size_t{8}}) {
+      EXPECT_EQ(reference, fingerprint_at(seed, k, 1))
+          << "seed " << seed << " K=" << k << " (serial)";
+    }
+  }
+}
+
+/// Thread count must not leak into results: the worker gang at K=4 with
+/// 4 threads reproduces the serial fingerprint exactly.
+TEST(PartitionDeterminism, ThreadCountDoesNotChangeResults) {
+  const std::uint64_t serial = fingerprint_at(42, 4, 1);
+  EXPECT_EQ(serial, fingerprint_at(42, 4, 4));
+  EXPECT_EQ(serial, fingerprint_at(42, 4, 2));
+  EXPECT_EQ(serial, fingerprint_at(42, 4, 0));  // one thread per partition
+}
+
+/// The partitioned runs actually do something: results carry frames and
+/// the run completes the full horizon.
+TEST(PartitionDeterminism, PartitionedRunProducesWork) {
+  Scenario s = partition_scenario(42);
+  s.partitions = 4;
+  s.partition_threads = 1;
+  ExperimentResult r = run_experiment(
+      s, make_controller_factory<control::FrameFeedbackController>());
+  EXPECT_EQ(r.duration, 20 * kSecond);
+  EXPECT_GT(r.events_executed, 1000u);
+  ASSERT_EQ(r.devices.size(), 4u);
+  for (const DeviceResult& d : r.devices) {
+    EXPECT_GT(d.totals.frames_captured, 0u) << d.name;
+    EXPECT_GT(d.uplink.messages_delivered, 0u) << d.name;
+  }
+}
+
+/// A zero propagation delay has no lookahead; the builder must refuse it
+/// up front rather than deadlock or serialize.
+TEST(PartitionDeterminism, ZeroDelayScenarioRejected) {
+  Scenario s = partition_scenario(42);
+  s.partitions = 2;
+  net::LinkConditions zero;
+  zero.propagation_delay = 0;
+  s.network = net::NetemSchedule::constant(zero);
+  s.uplink_template.initial.propagation_delay = 0;
+  s.downlink_template.initial.propagation_delay = 0;
+  EXPECT_THROW(
+      (void)run_experiment(
+          s, make_controller_factory<control::FrameFeedbackController>()),
+      std::invalid_argument);
+}
+
+/// The sweep axis helper labels and applies partition counts.
+TEST(PartitionDeterminism, PartitionAxisAppliesCounts) {
+  sweep::Axis axis = sweep::partition_axis({0, 1, 4});
+  ASSERT_EQ(axis.values.size(), 3u);
+  EXPECT_EQ(axis.values[0].label, "K=0");
+  EXPECT_EQ(axis.values[2].label, "K=4");
+  Scenario s = Scenario::ideal();
+  axis.values[2].apply(s);
+  EXPECT_EQ(s.partitions, 4u);
+}
+
+}  // namespace
+}  // namespace ff::core

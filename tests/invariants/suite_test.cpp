@@ -146,6 +146,30 @@ TEST(Invariants, ConvergenceCheckFailsWhenTimeoutsPersist) {
   EXPECT_TRUE(found);
 }
 
+// The partitioned-kernel determinism gate: the scenario runs on K=1 and
+// re-runs on K=4; the harness must report bit-identical fingerprints.
+TEST(Harness, PartitionDeterminismScenarioFingerprintsMatch) {
+  const auto scenario = find_scenario("partition_determinism");
+  EXPECT_EQ(scenario.scenario.partitions, 1u);
+  EXPECT_EQ(scenario.compare_partitions, 4u);
+  const ScenarioReport report = run_scenario(scenario);
+  bool found = false;
+  for (const auto& c : report.checks) {
+    if (c.name == "partition_fingerprint_equality") {
+      found = true;
+      EXPECT_TRUE(c.passed) << c.detail;
+    }
+  }
+  EXPECT_TRUE(found) << "comparison check missing from the report";
+  EXPECT_TRUE(report.passed()) << [&] {
+    std::string s;
+    for (const auto& c : report.checks) {
+      if (!c.passed) s += c.name + ": " + c.detail + "\n";
+    }
+    return s;
+  }();
+}
+
 TEST(Invariants, JsonSummaryIsWellFormedEnoughToGrep) {
   ScenarioReport r;
   r.scenario = "loss_burst";
