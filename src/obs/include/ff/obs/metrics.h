@@ -95,6 +95,15 @@ struct MetricSnapshot {
 /// sites resolve once and update for free afterwards. Re-registering the
 /// same (name, labels, kind) returns the existing metric; reusing a key
 /// with a different kind throws std::invalid_argument.
+///
+/// Thread-safety: externally synchronized -- the registry owns no mutex
+/// by design (the hot path is a bare counter increment). Each experiment
+/// runs on one thread and owns its registry; the sweep engine updates
+/// its shared registry from the calling thread only, never from pool
+/// workers (see SweepConfig::metrics). Code that ever needs concurrent
+/// registration must wrap the registry the way SynchronizedTraceSink
+/// wraps a TraceSink, with the wrapper's mutex annotated via
+/// ff/util/thread_annotations.h.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

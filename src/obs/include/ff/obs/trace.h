@@ -10,12 +10,13 @@
 #include <array>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "ff/util/sync.h"
+#include "ff/util/thread_annotations.h"
 #include "ff/util/units.h"
 
 namespace ff::obs {
@@ -171,13 +172,15 @@ class SynchronizedTraceSink final : public TraceSink {
   explicit SynchronizedTraceSink(TraceSink& inner) : inner_(&inner) {}
 
   void emit(const TraceEvent& event) override {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     inner_->emit(event);
   }
 
  private:
-  std::mutex mutex_;
-  TraceSink* inner_;
+  Mutex mutex_;
+  /// The pointer itself is immutable; the wrapped sink it designates is
+  /// single-threaded by contract and must only be reached under mutex_.
+  TraceSink* const inner_ FF_PT_GUARDED_BY(mutex_);
 };
 
 /// In-memory sink retaining every event; for tests.

@@ -42,6 +42,10 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  // Thread-safety: queue_ is internally synchronized (the pool's only
+  // cross-thread channel); workers_ is written by the constructor before
+  // any worker can observe `this` and joined by the destructor, so it
+  // needs no guard -- there is no mutex-level capability in this class.
   MpmcQueue<sim::InlineTask> queue_;
   std::vector<std::thread> workers_;
 };

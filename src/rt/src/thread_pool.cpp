@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
+
+#include "ff/util/sync.h"
+#include "ff/util/thread_annotations.h"
 
 namespace ff::rt {
 
@@ -11,16 +13,13 @@ namespace {
 // Guards creation and teardown of the shared pool. The pool itself lives
 // in a unique_ptr (not a plain function-local static) so embedders that
 // dlclose the library can tear it down deterministically via
-// shutdown_default_pool() instead of leaking worker threads.
-std::mutex& default_pool_mutex() {
-  static std::mutex m;
-  return m;
-}
-
-std::unique_ptr<ThreadPool>& default_pool_slot() {
-  static std::unique_ptr<ThreadPool> slot;
-  return slot;
-}
+// shutdown_default_pool() instead of leaking worker threads. Both objects
+// are constant-initialized (constexpr default constructors), so there is
+// no static-initialization-order hazard in making them namespace-scope
+// variables -- which is what lets the slot carry FF_GUARDED_BY.
+Mutex g_default_pool_mutex;
+std::unique_ptr<ThreadPool> g_default_pool_slot
+    FF_GUARDED_BY(g_default_pool_mutex);
 
 }  // namespace
 
@@ -47,15 +46,16 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& default_pool() {
-  const std::lock_guard<std::mutex> lock(default_pool_mutex());
-  auto& slot = default_pool_slot();
-  if (!slot) slot = std::make_unique<ThreadPool>();
-  return *slot;
+  const MutexLock lock(g_default_pool_mutex);
+  if (!g_default_pool_slot) {
+    g_default_pool_slot = std::make_unique<ThreadPool>();
+  }
+  return *g_default_pool_slot;
 }
 
 void shutdown_default_pool() {
-  const std::lock_guard<std::mutex> lock(default_pool_mutex());
-  default_pool_slot().reset();
+  const MutexLock lock(g_default_pool_mutex);
+  g_default_pool_slot.reset();
 }
 
 }  // namespace ff::rt

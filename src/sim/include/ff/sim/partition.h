@@ -200,7 +200,14 @@ class PartitionedSimulator {
   // protocol: the driver writes horizon_, bumps round_ (release); workers
   // acquire round_, run their owned partitions to horizon_, and drop
   // remaining_ (release) -- which the driver acquires, establishing the
-  // happens-before edges both ways. No locks on the window path.
+  // happens-before edges both ways. No locks on the window path, so there
+  // is no FF_CAPABILITY to guard by; the protocol IS the guard: horizon_
+  // and the partition Simulators are published to workers by the round_
+  // release store and handed back by the remaining_ release drop, and
+  // TSan'd PartitionStress tests pin exactly those edges. Any new gang
+  // state must be written only between a remaining_ acquire and the next
+  // round_ bump (driver side) or read only after a round_ acquire
+  // (worker side).
   unsigned requested_threads_{0};
   unsigned worker_count_{0};
   std::vector<std::thread> workers_;

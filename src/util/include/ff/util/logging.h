@@ -2,11 +2,18 @@
 
 // Minimal leveled logger. Components log through this so examples can turn
 // on tracing without recompiling; benches keep it at kWarn to stay quiet.
+// The singleton is shared by every thread (pool workers log too): `level_`
+// is an atomic so the hot enabled() check is a lock-free relaxed load, and
+// `mutex_` serializes the actual stream writes so concurrent log lines
+// cannot interleave mid-line.
 
-#include <mutex>
+#include <atomic>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "ff/util/sync.h"
+#include "ff/util/thread_annotations.h"
 
 namespace ff {
 
@@ -16,17 +23,23 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
 
   void write(LogLevel level, std::string_view component,
-             std::string_view message);
+             std::string_view message) FF_EXCLUDES(mutex_);
 
  private:
   Logger() = default;
-  LogLevel level_{LogLevel::kWarn};
-  std::mutex mutex_;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  Mutex mutex_;  ///< serializes stream output; level_ is read outside it
 };
 
 namespace detail {

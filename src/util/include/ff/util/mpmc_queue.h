@@ -1,12 +1,17 @@
 #pragma once
 
 // Bounded blocking multi-producer/multi-consumer queue used by the
-// real-time backend's server worker pool.
+// real-time backend's server worker pool. Shared state is annotated with
+// the ff/util/thread_annotations.h vocabulary and checked by both
+// clang's -Wthread-safety and ff-lint's `concurrency` rules.
 
-#include <condition_variable>
+#include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
+#include <utility>
+
+#include "ff/util/sync.h"
+#include "ff/util/thread_annotations.h"
 
 namespace ff {
 
@@ -16,9 +21,9 @@ class MpmcQueue {
   explicit MpmcQueue(std::size_t capacity) : capacity_(capacity) {}
 
   /// Blocks while full; returns false if the queue was closed.
-  bool push(T value) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+  bool push(T value) FF_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    while (!closed_ && queue_.size() >= capacity_) not_full_.wait(mutex_);
     if (closed_) return false;
     queue_.push_back(std::move(value));
     not_empty_.notify_one();
@@ -28,8 +33,8 @@ class MpmcQueue {
   /// Non-blocking push; returns false when full or closed. Rvalue-reference
   /// parameter (not by-value) so a failed push does not consume the
   /// caller's object -- retry loops over move-only types depend on it.
-  [[nodiscard]] bool try_push(T&& value) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] bool try_push(T&& value) FF_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     if (closed_ || queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(value));
     not_empty_.notify_one();
@@ -40,9 +45,9 @@ class MpmcQueue {
   [[nodiscard]] bool try_push(const T& value) { return try_push(T(value)); }
 
   /// Blocks while empty; empty optional means closed-and-drained.
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  std::optional<T> pop() FF_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    while (!closed_ && queue_.empty()) not_empty_.wait(mutex_);
     if (queue_.empty()) return std::nullopt;
     T value = std::move(queue_.front());
     queue_.pop_front();
@@ -50,8 +55,8 @@ class MpmcQueue {
     return value;
   }
 
-  [[nodiscard]] std::optional<T> try_pop() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::optional<T> try_pop() FF_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     if (queue_.empty()) return std::nullopt;
     T value = std::move(queue_.front());
     queue_.pop_front();
@@ -60,25 +65,25 @@ class MpmcQueue {
   }
 
   /// Wakes all waiters; subsequent pushes fail, pops drain then fail.
-  void close() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void close() FF_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  [[nodiscard]] std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t size() const FF_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return queue_.size();
   }
 
  private:
-  std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> queue_;
-  bool closed_{false};
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> queue_ FF_GUARDED_BY(mutex_);
+  bool closed_ FF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ff

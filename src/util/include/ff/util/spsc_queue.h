@@ -2,6 +2,20 @@
 
 // Bounded lock-free single-producer/single-consumer queue for the real-time
 // backend's frame pipelines (camera thread -> dispatch thread).
+//
+// Ownership contract (there is no capability to annotate -- the queue is
+// lock-free and its safety comes from role exclusivity, not a mutex):
+//   - exactly ONE thread may call try_push (the producer); it alone
+//     writes head_ and the slot at buffer_[head];
+//   - exactly ONE thread may call try_pop (the consumer); it alone
+//     writes tail_ and reads the slot at buffer_[tail];
+//   - size_approx()/empty_approx() may be called from anywhere but are
+//     only approximate while the queue is in motion.
+// buffer_ and mask_ are written only during construction and are
+// read-only afterwards, so they need no guard; the head_/tail_ atomics
+// carry the inter-thread ordering (release stores paired with acquire
+// loads). Violating the single-producer or single-consumer role is a
+// data race that TSan's stress suite (tests/concurrency) would flag.
 
 #include <atomic>
 #include <cstddef>

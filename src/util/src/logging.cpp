@@ -27,7 +27,7 @@ Logger& Logger::instance() {
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view message) {
   if (!enabled(level)) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::cerr << "[" << level_name(level) << "] " << component << ": " << message
             << "\n";
 }

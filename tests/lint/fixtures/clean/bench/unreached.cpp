@@ -1,0 +1,9 @@
+// Reachability negative: a wall-clock helper that only main() calls.
+// main is not a dispatch root, so determinism-reachability stays quiet.
+#include <chrono>
+
+double wall_probe() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int main() { return wall_probe() > 0.0 ? 0 : 1; }

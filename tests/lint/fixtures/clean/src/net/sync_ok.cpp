@@ -1,0 +1,31 @@
+// Concurrency negatives: a fully annotated mutex-owning class, and the
+// same pair of locks always taken in one consistent order.
+#include "ff/util/sync.h"
+#include "ff/util/thread_annotations.h"
+
+class Tally {
+ public:
+  void add(int n) {
+    ff::MutexLock lock(mutex_);
+    total_ += n;
+  }
+
+ private:
+  ff::Mutex mutex_;
+  int total_ FF_GUARDED_BY(mutex_) = 0;
+};
+
+namespace {
+ff::Mutex g_front;
+ff::Mutex g_back;
+}  // namespace
+
+void drain() {
+  ff::MutexLock a(g_front);
+  ff::MutexLock b(g_back);
+}
+
+void refill() {
+  ff::MutexLock a(g_front);
+  ff::MutexLock b(g_back);
+}

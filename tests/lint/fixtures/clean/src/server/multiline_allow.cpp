@@ -1,0 +1,12 @@
+// Regression for statement-scoped allow(): the suppression comment sits
+// mid-statement, below the line the finding would land on.
+#include <unordered_map>
+
+struct Flow;
+
+std::unordered_map<
+    Flow*,
+    // ff-lint: allow(unordered-pointer-key) diagnostics-only index,
+    // never iterated.
+    int>
+    by_ptr_;

@@ -1,0 +1,12 @@
+// Seeds determinism-reachability: the wall clock hides behind
+// FF_FIXTURE_NOW inside a helper that a scheduled lambda calls. bench/
+// is outside the determinism directories, so only the call-graph rule
+// can reach this.
+#include "ff/util/clock_macro.h"
+
+double sample_ms() { return FF_FIXTURE_NOW() / 1e6; }
+
+template <class Sim>
+void install_sampler(Sim& sim) {
+  sim.schedule_in(500, [&] { sim.record(sample_ms()); });
+}

@@ -1,0 +1,13 @@
+#pragma once
+#include "ff/util/sync.h"
+#include "ff/util/thread_annotations.h"
+
+// Seeds annotation-parity: lock() claims FF_ACQUIRE but no method in
+// the class ever declares the matching FF_RELEASE.
+class Parity {
+ public:
+  void lock() FF_ACQUIRE(mutex_);
+
+ private:
+  ff::Mutex mutex_;
+};

@@ -1,0 +1,21 @@
+// Seeds lock-order: the two paths take the same pair of locks in
+// opposite orders (AB here, BA in order_cycle_peer below).
+#include "ff/util/sync.h"
+
+namespace {
+ff::Mutex g_ingress;
+ff::Mutex g_egress;
+int g_inflight = 0;
+}  // namespace
+
+void admit() {
+  ff::MutexLock a(g_ingress);
+  ff::MutexLock b(g_egress);
+  ++g_inflight;
+}
+
+void evict() {
+  ff::MutexLock a(g_egress);
+  ff::MutexLock b(g_ingress);
+  --g_inflight;
+}

@@ -1,0 +1,7 @@
+#pragma once
+#include <chrono>
+
+// Hazardous macro defined in an unlinted module; clean here, but any
+// expansion reachable from simulator dispatch must be flagged.
+#define FF_FIXTURE_NOW() \
+  std::chrono::steady_clock::now().time_since_epoch().count()

@@ -1,0 +1,19 @@
+#pragma once
+#include <atomic>
+
+#include "ff/util/sync.h"
+#include "ff/util/thread_annotations.h"
+
+// Seeds unguarded-shared-state: pending_ sits next to a mutex with no
+// FF_GUARDED_BY, while the annotated / atomic / const members are fine.
+class GuardGap {
+ public:
+  void submit(int job);
+
+ private:
+  ff::Mutex mutex_;
+  int pending_ = 0;
+  int done_ FF_GUARDED_BY(mutex_) = 0;
+  std::atomic<bool> stopped_{false};
+  const int limit_ = 128;
+};

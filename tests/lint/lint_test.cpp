@@ -8,7 +8,9 @@
 #include <sys/wait.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -163,6 +165,156 @@ TEST(Rules, FalsePositiveTraps) {
   EXPECT_TRUE(r.findings.empty()) << r.findings.front().message;
 }
 
+TEST(Rules, MultiLineStatementAllowSuppresses) {
+  // The allow() sits two lines below the line the finding lands on, but
+  // inside the same statement; statement-extent suppression covers it.
+  const std::string body =
+      "#include <unordered_map>\n"
+      "struct Flow;\n"
+      "std::unordered_map<\n"
+      "    Flow*,\n"
+      "    // ff-lint: allow(unordered-pointer-key) diagnostics index\n"
+      "    int>\n"
+      "    by_ptr_;\n";
+  EXPECT_TRUE(lint_one("src/server/src/x.cpp", body).findings.empty());
+  // Without the allow, the same statement fires.
+  const std::string stripped =
+      "#include <unordered_map>\n"
+      "struct Flow;\n"
+      "std::unordered_map<\n"
+      "    Flow*,\n"
+      "    int>\n"
+      "    by_ptr_;\n";
+  EXPECT_EQ(rules_of(lint_one("src/server/src/x.cpp", stripped)),
+            (std::set<FileRule>{
+                {"src/server/src/x.cpp", "unordered-pointer-key"}}));
+}
+
+// ---------------------------------------------------------------------
+// Concurrency rules, in memory.
+
+TEST(Concurrency, UnguardedSharedState) {
+  const auto r = lint_one("src/util/src/c.cpp",
+                          "class Cache {\n"
+                          " private:\n"
+                          "  ff::Mutex mutex_;\n"
+                          "  int hits_;\n"
+                          "};\n");
+  EXPECT_EQ(rules_of(r), (std::set<FileRule>{
+                             {"src/util/src/c.cpp",
+                              "unguarded-shared-state"}}));
+  // Annotated, atomic, const and allow()ed members are all fine.
+  EXPECT_TRUE(
+      lint_one("src/util/src/c.cpp",
+               "class Cache {\n"
+               "  ff::Mutex mutex_;\n"
+               "  int hits_ FF_GUARDED_BY(mutex_) = 0;\n"
+               "  std::atomic<int> misses_{0};\n"
+               "  const int capacity_ = 8;\n"
+               "  // ff-lint: allow(unguarded-shared-state) set before\n"
+               "  // worker threads start.\n"
+               "  int config_;\n"
+               "};\n")
+          .findings.empty());
+  // A class without a mutex member is out of scope entirely.
+  EXPECT_TRUE(lint_one("src/util/src/c.cpp",
+                       "class Plain { int hits_; };\n")
+                  .findings.empty());
+}
+
+TEST(Concurrency, LockOrderCycleAcrossFunctions) {
+  const auto r = lint_one("src/rt/src/x.cpp",
+                          "ff::Mutex g_a;\n"
+                          "ff::Mutex g_b;\n"
+                          "void f() {\n"
+                          "  ff::MutexLock l1(g_a);\n"
+                          "  ff::MutexLock l2(g_b);\n"
+                          "}\n"
+                          "void g() {\n"
+                          "  ff::MutexLock l1(g_b);\n"
+                          "  ff::MutexLock l2(g_a);\n"
+                          "}\n");
+  EXPECT_EQ(rules_of(r),
+            (std::set<FileRule>{{"src/rt/src/x.cpp", "lock-order"}}));
+  // Consistent order: clean.
+  EXPECT_TRUE(lint_one("src/rt/src/x.cpp",
+                       "ff::Mutex g_a;\n"
+                       "ff::Mutex g_b;\n"
+                       "void f() {\n"
+                       "  ff::MutexLock l1(g_a);\n"
+                       "  ff::MutexLock l2(g_b);\n"
+                       "}\n"
+                       "void g() {\n"
+                       "  ff::MutexLock l1(g_a);\n"
+                       "  ff::MutexLock l2(g_b);\n"
+                       "}\n")
+                  .findings.empty());
+}
+
+TEST(Concurrency, DeclaredOrderContradictionAndParity) {
+  // FF_ACQUIRED_BEFORE edges that contradict each other form a cycle.
+  const auto r = lint_one(
+      "src/net/src/x.cpp",
+      "class Channel {\n"
+      "  ff::Mutex send_ FF_ACQUIRED_BEFORE(recv_);\n"
+      "  ff::Mutex recv_ FF_ACQUIRED_BEFORE(send_);\n"
+      "};\n");
+  EXPECT_EQ(rules_of(r),
+            (std::set<FileRule>{{"src/net/src/x.cpp", "lock-order"}}));
+  // FF_ACQUIRE without FF_RELEASE anywhere in the class.
+  const auto p = lint_one("src/net/src/y.cpp",
+                          "class Gate {\n"
+                          " public:\n"
+                          "  void enter() FF_ACQUIRE(mutex_);\n"
+                          " private:\n"
+                          "  ff::Mutex mutex_;\n"
+                          "};\n");
+  EXPECT_EQ(rules_of(p),
+            (std::set<FileRule>{{"src/net/src/y.cpp",
+                                 "annotation-parity"}}));
+  // Balanced pair: clean.
+  EXPECT_TRUE(lint_one("src/net/src/y.cpp",
+                       "class Gate {\n"
+                       " public:\n"
+                       "  void enter() FF_ACQUIRE(mutex_);\n"
+                       "  void leave() FF_RELEASE(mutex_);\n"
+                       " private:\n"
+                       "  ff::Mutex mutex_;\n"
+                       "};\n")
+                  .findings.empty());
+}
+
+// ---------------------------------------------------------------------
+// Call-graph determinism reachability, in memory.
+
+TEST(Reachability, ScheduledLambdaReachesWallClockHelper) {
+  // bench/ is outside the determinism dirs; only the call-graph rule
+  // connects the scheduled lambda to the wall-clock helper it calls.
+  const std::string body =
+      "#include <chrono>\n"
+      "double now_ms() {\n"
+      "  return std::chrono::steady_clock::now()\n"
+      "      .time_since_epoch().count() / 1e6;\n"
+      "}\n"
+      "template <class Sim>\n"
+      "void install(Sim& sim) {\n"
+      "  sim.schedule_in(1000, [&] { sim.record(now_ms()); });\n"
+      "}\n";
+  const auto r = lint_one("bench/probe.cpp", body);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "determinism-reachability");
+  EXPECT_NE(r.findings[0].message.find("now_ms"), std::string::npos);
+  // The same helper called only from main(): not a dispatch root.
+  EXPECT_TRUE(lint_one("bench/probe.cpp",
+                       "#include <chrono>\n"
+                       "double now_ms() {\n"
+                       "  return std::chrono::steady_clock::now()\n"
+                       "      .time_since_epoch().count() / 1e6;\n"
+                       "}\n"
+                       "int main() { return now_ms() > 0 ? 0 : 1; }\n")
+                  .findings.empty());
+}
+
 // ---------------------------------------------------------------------
 // Architecture rules, in memory.
 
@@ -236,14 +388,18 @@ TEST(Fixtures, ViolationTreeFindsExactlyTheSeededRules) {
   const LintResult r = lint_tree(std::string(FF_LINT_FIXTURES) +
                                  "/violations");
   const std::set<FileRule> expected = {
+      {"bench/reach_wall.cpp", "determinism-reachability"},
+      {"src/control/include/ff/control/parity.h", "annotation-parity"},
       {"src/core/include/ff/core/untidy.h", "header-hygiene"},
       {"src/device/src/peers.cpp", "unordered-iteration"},
       {"src/net/entropy.cpp", "ambient-entropy"},
       {"src/net/include/ff/net/loop_b.h", "include-cycle"},
+      {"src/rt/order_cycle.cpp", "lock-order"},
       {"src/server/ptr_key.cpp", "unordered-pointer-key"},
       {"src/sim/alloc.cpp", "raw-allocation"},
       {"src/sim/macro_wall.cpp", "ambient-entropy"},
       {"src/sim/wall_clock.cpp", "wall-clock"},
+      {"src/util/include/ff/util/guard_gap.h", "unguarded-shared-state"},
       {"src/util/src/layer_up.cpp", "layering"},
   };
   EXPECT_EQ(rules_of(r), expected);
@@ -253,7 +409,31 @@ TEST(Fixtures, CleanTreeIsClean) {
   const LintResult r = lint_tree(std::string(FF_LINT_FIXTURES) + "/clean");
   EXPECT_TRUE(r.findings.empty())
       << r.findings.front().file << ": " << r.findings.front().message;
-  EXPECT_EQ(r.files_scanned, 6u);
+  EXPECT_EQ(r.files_scanned, 9u);
+}
+
+// The annotated production tree is lint-clean, and not vacuously so:
+// stripping a single FF_GUARDED_BY from a real header must produce
+// exactly one unguarded-shared-state finding.
+TEST(Fixtures, RealAnnotationsAreLoadBearing) {
+  const std::string path = std::string(FF_LINT_REPO_ROOT) +
+                           "/src/util/include/ff/util/mpmc_queue.h";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string content = ss.str();
+
+  const std::string rel = "src/util/include/ff/util/mpmc_queue.h";
+  EXPECT_TRUE(lint_files({{rel, content}}).findings.empty());
+
+  const std::string annotation = " FF_GUARDED_BY(mutex_)";
+  const std::size_t pos = content.find(annotation);
+  ASSERT_NE(pos, std::string::npos) << "annotation gone from " << path;
+  content.erase(pos, annotation.size());
+  const LintResult r = lint_files({{rel, content}});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "unguarded-shared-state");
 }
 
 TEST(SelfTest, EmbeddedCorpusPasses) {
@@ -289,6 +469,37 @@ TEST(Cli, CleanFixtureExitsZero) {
 
 TEST(Cli, MissingTreeExitsTwo) {
   EXPECT_EQ(run_cli("--root /nonexistent-ff-lint-root"), 2);
+}
+
+TEST(Cli, JsonOutputListsFindings) {
+  const std::string path = testing::TempDir() + "ff_lint_findings.json";
+  EXPECT_EQ(run_cli("--root " + std::string(FF_LINT_FIXTURES) +
+                    "/violations --json=" + path),
+            1);
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"findings\":["), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"lock-order\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"determinism-reachability\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\":"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, JsonOutputOnCleanTreeIsEmpty) {
+  const std::string path = testing::TempDir() + "ff_lint_clean.json";
+  EXPECT_EQ(run_cli("--root " + std::string(FF_LINT_FIXTURES) +
+                    "/clean --json=" + path),
+            0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"findings\":[]"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(Cli, UnknownFlagExitsTwo) { EXPECT_EQ(run_cli("--bogus"), 2); }

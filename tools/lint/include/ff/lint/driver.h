@@ -25,9 +25,18 @@ struct LintResult {
 [[nodiscard]] LintResult lint_files(
     const std::vector<std::pair<std::string, std::string>>& files);
 
-/// Lints `<root>/src` on disk. Throws std::runtime_error if the root has
-/// no src/ directory.
+/// Lints `<root>/src` plus, when present, `<root>/bench` and
+/// `<root>/examples` (whose helpers the determinism-reachability rule
+/// can trace into simulator dispatch). Throws std::runtime_error if the
+/// root has no src/ directory.
 [[nodiscard]] LintResult lint_tree(const std::string& root);
+
+/// Writes the findings as one JSON document:
+///   {"findings":[{"file":...,"line":N,"rule":...,"message":...},...],
+///    "files_scanned":N}
+/// Machine-readable companion to the human output; CI attaches it as an
+/// artifact and feeds the text output to a GitHub problem matcher.
+void write_findings_json(const LintResult& result, std::ostream& os);
 
 /// Embedded fixture corpus, reused by --self-test and tests/lint.
 [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&

@@ -57,6 +57,20 @@ struct Finding {
 [[nodiscard]] std::vector<Finding> check_determinism(const SourceTree& tree,
                                                      const SourceFile& file);
 
+/// Raw token-stream scan for the stateless determinism rules
+/// (wall-clock, ambient-entropy, unordered-pointer-key,
+/// raw-allocation). No scope filtering, no allow() handling; `file` in
+/// the findings is empty. Building block for check_determinism and the
+/// call-graph reachability rule, which applies it to function bodies
+/// outside the directory scopes.
+[[nodiscard]] std::vector<Finding> scan_determinism_tokens(
+    const std::vector<Token>& toks);
+
+/// Raw scan for range-for iteration over any container named in
+/// `decls`; same contract as scan_determinism_tokens.
+[[nodiscard]] std::vector<Finding> scan_unordered_iteration_tokens(
+    const std::vector<Token>& toks, const std::set<std::string>& decls);
+
 /// Rules whose patterns appear in the macro's replacement list after
 /// expanding nested macros (depth-capped). Used to flag expansion sites.
 [[nodiscard]] std::vector<std::string> macro_hazards(const SourceTree& tree,

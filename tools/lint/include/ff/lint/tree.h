@@ -33,9 +33,29 @@ struct SourceFile {
 
 /// Rules allowed on line `line` (1-based) by `// ff-lint: allow(rule)`
 /// directives on that line or in the contiguous //-comment block
-/// directly above it.
+/// directly above it. Line-scoped primitive; rules should prefer
+/// allowed_rules_for, which widens the scope to the whole statement.
 [[nodiscard]] std::set<std::string> allowed_rules(
     const std::vector<std::string>& lines, int line);
+
+/// First and last physical line of the statement containing `line`,
+/// derived from the token stream (statement boundaries are `;` at paren
+/// depth zero, `{`, and `}`). Lines without tokens map to themselves.
+struct StatementExtent {
+  int first{1};
+  int last{1};
+};
+[[nodiscard]] StatementExtent statement_extent(const std::vector<Token>& toks,
+                                               int line);
+
+/// Rules allowed for a finding at `line`, with allow() scopes attached
+/// to the whole containing statement: a directive anywhere on the
+/// statement's physical lines, or in the contiguous //-comment block
+/// directly above its first line, covers every finding the statement
+/// produces. Supersedes per-line allowed_rules, which let multi-line
+/// statements escape their own annotation.
+[[nodiscard]] std::set<std::string> allowed_rules_for(const SourceFile& file,
+                                                      int line);
 
 class SourceTree {
  public:

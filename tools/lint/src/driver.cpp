@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "ff/lint/callgraph.h"
+#include "ff/lint/concurrency.h"
 #include "ff/lint/graph.h"
 #include "ff/lint/tree.h"
 
@@ -25,6 +28,36 @@ std::string slurp(const std::filesystem::path& p) {
   return ss.str();
 }
 
+void scan_dir(const std::filesystem::path& root,
+              const std::filesystem::path& dir,
+              std::vector<std::pair<std::string, std::string>>* files) {
+  namespace fs = std::filesystem;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+    const std::string rel =
+        fs::relative(entry.path(), root).generic_string();
+    files->emplace_back(rel, slurp(entry.path()));
+  }
+}
+
+void json_escape(const std::string& s, std::ostream& os) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          os << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
 }  // namespace
 
 LintResult lint_files(
@@ -38,24 +71,45 @@ LintResult lint_files(
   }
   const std::vector<Finding> arch = check_architecture(tree);
   result.findings.insert(result.findings.end(), arch.begin(), arch.end());
+  const std::vector<Finding> conc = check_concurrency(tree);
+  result.findings.insert(result.findings.end(), conc.begin(), conc.end());
+  const std::vector<Finding> reach = check_reachability(tree);
+  result.findings.insert(result.findings.end(), reach.begin(), reach.end());
   std::sort(result.findings.begin(), result.findings.end());
   return result;
 }
 
 LintResult lint_tree(const std::string& root) {
   namespace fs = std::filesystem;
-  const fs::path src = fs::path(root) / "src";
+  const fs::path base(root);
+  const fs::path src = base / "src";
   if (!fs::is_directory(src)) {
     throw std::runtime_error("ff-lint: no src/ directory under " + root);
   }
   std::vector<std::pair<std::string, std::string>> files;
-  for (const auto& entry : fs::recursive_directory_iterator(src)) {
-    if (!entry.is_regular_file() || !lintable(entry.path())) continue;
-    const std::string rel =
-        fs::relative(entry.path(), fs::path(root)).generic_string();
-    files.emplace_back(rel, slurp(entry.path()));
+  scan_dir(base, src, &files);
+  for (const char* extra : {"bench", "examples"}) {
+    const fs::path dir = base / extra;
+    if (fs::is_directory(dir)) scan_dir(base, dir, &files);
   }
   return lint_files(files);
+}
+
+void write_findings_json(const LintResult& result, std::ostream& os) {
+  os << "{\"findings\":[";
+  bool first = true;
+  for (const Finding& f : result.findings) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"file\":\"";
+    json_escape(f.file, os);
+    os << "\",\"line\":" << f.line << ",\"rule\":\"";
+    json_escape(f.rule, os);
+    os << "\",\"message\":\"";
+    json_escape(f.message, os);
+    os << "\"}";
+  }
+  os << "],\"files_scanned\":" << result.files_scanned << "}\n";
 }
 
 }  // namespace ff::lint

@@ -20,7 +20,7 @@ std::string ff_module(const std::string& path) {
 
 void add_finding(const SourceFile& file, int line, const char* rule,
                  std::string message, std::vector<Finding>* out) {
-  if (allowed_rules(file.lines, line).count(rule) > 0) return;
+  if (allowed_rules_for(file, line).count(rule) > 0) return;
   out->push_back({file.rel, line, rule, std::move(message)});
 }
 

@@ -1,17 +1,22 @@
 // ff-lint CLI: self-hosted static analysis for the FrameFeedback tree.
 // Replaces tools/determinism_lint.py behind the same contract:
 //
-//   ff-lint [--root DIR]   lint <DIR>/src (default: cwd); exit 1 on
+//   ff-lint [--root DIR]   lint <DIR>/src (plus bench/ and examples/
+//                          when present; default root: cwd); exit 1 on
 //                          findings
+//   ff-lint --json=PATH    additionally write the findings as JSON
 //   ff-lint --self-test    run the embedded fixture corpus and verify
 //                          every rule fires (and nothing else does)
 //
 // Rules: wall-clock, ambient-entropy, unordered-pointer-key,
-// unordered-iteration, raw-allocation (determinism family) and
-// layering, include-cycle, header-hygiene (architecture family).
+// unordered-iteration, raw-allocation (determinism family);
+// layering, include-cycle, header-hygiene (architecture family);
+// unguarded-shared-state, lock-order, annotation-parity (concurrency
+// family); determinism-reachability (call-graph family).
 // Escape hatch: `// ff-lint: allow(<rule>) <reason>`.
 
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -20,7 +25,7 @@
 namespace {
 
 int usage(std::ostream& os, int code) {
-  os << "usage: ff-lint [--root DIR] [--self-test]\n";
+  os << "usage: ff-lint [--root DIR] [--json=PATH] [--self-test]\n";
   return code;
 }
 
@@ -28,6 +33,7 @@ int usage(std::ostream& os, int code) {
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string json_path;
   bool run_self_test = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -38,6 +44,8 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg.rfind("--root=", 0) == 0) {
       root = arg.substr(7);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
     } else if (arg == "--help" || arg == "-h") {
       return usage(std::cout, 0);
     } else {
@@ -53,6 +61,14 @@ int main(int argc, char** argv) {
     for (const ff::lint::Finding& f : result.findings) {
       std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
                 << f.message << "\n";
+    }
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "ff-lint: cannot write " << json_path << "\n";
+        return 2;
+      }
+      ff::lint::write_findings_json(result, out);
     }
     if (!result.findings.empty()) {
       std::cerr << "ff-lint: FAILED (" << result.findings.size()

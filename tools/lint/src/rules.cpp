@@ -237,6 +237,15 @@ const std::vector<std::string>& dispatch_dirs() {
   return kDirs;
 }
 
+std::vector<Finding> scan_determinism_tokens(const std::vector<Token>& toks) {
+  return scan_tokens(toks);
+}
+
+std::vector<Finding> scan_unordered_iteration_tokens(
+    const std::vector<Token>& toks, const std::set<std::string>& decls) {
+  return scan_unordered_iteration(toks, decls);
+}
+
 std::vector<std::string> macro_hazards(const SourceTree& tree,
                                        const MacroDef& def) {
   std::set<std::string> stack;
@@ -289,7 +298,7 @@ std::vector<Finding> check_determinism(const SourceTree& tree,
     if (f.rule == "raw-allocation" && !in_dirs(file.rel, dispatch_dirs())) {
       continue;
     }
-    if (allowed_rules(file.lines, f.line).count(f.rule) > 0) continue;
+    if (allowed_rules_for(file, f.line).count(f.rule) > 0) continue;
     f.file = file.rel;
     out.push_back(std::move(f));
   }

@@ -138,18 +138,136 @@ double pace() {
   return std::chrono::steady_clock::now().time_since_epoch().count();
 }
 )corpus"},
+
+    // unguarded-shared-state: a mutex-owning class with one plain member
+    // next to annotated, atomic and const ones. Only last_key_ fires.
+    {"src/util/include/ff/util/bad_guard.h", R"corpus(#pragma once
+#include <atomic>
+#include "ff/util/sync.h"
+#include "ff/util/thread_annotations.h"
+class BadCache {
+ public:
+  int get(int key);
+ private:
+  ff::Mutex mutex_;
+  int last_key_ = 0;
+  int hits_ FF_GUARDED_BY(mutex_) = 0;
+  std::atomic<int> misses_{0};
+  const int capacity_ = 64;
+};
+)corpus"},
+
+    // lock-order: two free functions take the same pair of locks in
+    // opposite orders -- a classic AB/BA deadlock.
+    {"src/rt/bad_order.cpp", R"corpus(#include "ff/util/sync.h"
+namespace {
+ff::Mutex g_head;
+ff::Mutex g_tail;
+int g_n = 0;
+}  // namespace
+void push_front() {
+  ff::MutexLock a(g_head);
+  ff::MutexLock b(g_tail);
+  ++g_n;
+}
+void pop_back() {
+  ff::MutexLock a(g_tail);
+  ff::MutexLock b(g_head);
+  --g_n;
+}
+)corpus"},
+
+    // annotation-parity: an FF_ACQUIRE method with no matching
+    // FF_RELEASE anywhere in the class.
+    {"src/control/include/ff/control/bad_parity.h", R"corpus(#pragma once
+#include "ff/util/sync.h"
+#include "ff/util/thread_annotations.h"
+class Gate {
+ public:
+  void enter() FF_ACQUIRE(mutex_);
+ private:
+  ff::Mutex mutex_;
+};
+)corpus"},
+
+    // determinism-reachability: the wall clock hides behind FF_WALL_NOW
+    // (defined in the unlinted util module above) inside a helper that a
+    // scheduled lambda calls. bench/ is outside the determinism dirs, so
+    // only the call-graph rule can see this.
+    {"bench/bad_reach.cpp", R"corpus(#include "ff/util/wall_macro.h"
+double now_ms() { return FF_WALL_NOW() / 1e6; }
+template <class Sim>
+void install_probe(Sim& sim) {
+  sim.schedule_in(1000, [&] { sim.record(now_ms()); });
+}
+)corpus"},
+
+    // Reachability decoy: the same hazard in a helper only main() calls
+    // is fine -- main is not a dispatch root.
+    {"bench/good_unreached.cpp", R"corpus(#include <chrono>
+double wall_probe() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+int main() { return wall_probe() > 0.0 ? 0 : 1; }
+)corpus"},
+
+    // Multi-line allow decoy: the allow() sits mid-statement, two lines
+    // below the line the finding lands on. Statement-extent suppression
+    // must still cover it (the old per-line matcher did not).
+    {"src/server/good_multiline_allow.cpp",
+     R"corpus(#include <unordered_map>
+struct Flow;
+std::unordered_map<
+    Flow*,
+    // ff-lint: allow(unordered-pointer-key) diagnostics-only index,
+    // never iterated.
+    int>
+    by_ptr_;
+)corpus"},
+
+    // Concurrency decoys: fully annotated class, and the same lock pair
+    // taken in one consistent order.
+    {"src/net/good_sync.cpp", R"corpus(#include "ff/util/sync.h"
+#include "ff/util/thread_annotations.h"
+class Counter {
+ public:
+  void add(int n) {
+    ff::MutexLock lock(mutex_);
+    total_ += n;
+  }
+ private:
+  ff::Mutex mutex_;
+  int total_ FF_GUARDED_BY(mutex_) = 0;
+};
+namespace {
+ff::Mutex g_front;
+ff::Mutex g_back;
+}  // namespace
+void drain() {
+  ff::MutexLock a(g_front);
+  ff::MutexLock b(g_back);
+}
+void refill() {
+  ff::MutexLock a(g_front);
+  ff::MutexLock b(g_back);
+}
+)corpus"},
 };
 
 const std::vector<std::pair<std::string, std::string>> kExpected = {
+    {"bench/bad_reach.cpp", "determinism-reachability"},
+    {"src/control/include/ff/control/bad_parity.h", "annotation-parity"},
     {"src/control/include/ff/control/loose.h", "header-hygiene"},
     {"src/device/src/session_table.cpp", "unordered-iteration"},
     {"src/models/src/bad_layer.cpp", "layering"},
     {"src/net/bad_entropy.cpp", "ambient-entropy"},
     {"src/net/include/ff/net/cycle_b.h", "include-cycle"},
+    {"src/rt/bad_order.cpp", "lock-order"},
     {"src/server/bad_ptr_key.cpp", "unordered-pointer-key"},
     {"src/sim/bad_alloc.cpp", "raw-allocation"},
     {"src/sim/bad_clock.cpp", "wall-clock"},
     {"src/sim/macro_clock.cpp", "wall-clock"},
+    {"src/util/include/ff/util/bad_guard.h", "unguarded-shared-state"},
 };
 
 }  // namespace

@@ -107,6 +107,59 @@ std::set<std::string> allowed_rules(const std::vector<std::string>& lines,
   return allows;
 }
 
+StatementExtent statement_extent(const std::vector<Token>& toks, int line) {
+  int first = 0;   // first line of the current statement (0 = none yet)
+  int paren = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.line > line && first == 0) break;  // no token on `line`
+    if (first == 0) first = t.line;
+    const bool boundary =
+        t.kind == TokKind::kPunct &&
+        ((t.text == ";" && paren == 0) || t.text == "{" || t.text == "}");
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(") ++paren;
+      if (t.text == ")" && paren > 0) --paren;
+    }
+    if (boundary) {
+      // The boundary token closes the statement it ends on.
+      if (t.line >= line && first <= line) return {first, t.line};
+      first = 0;
+      continue;
+    }
+    // Statement ran past `line` without closing: extend to its end.
+    if (t.line >= line && first <= line) {
+      int last = t.line;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        const Token& u = toks[j];
+        if (u.kind == TokKind::kPunct) {
+          if (u.text == "(") ++paren;
+          if (u.text == ")" && paren > 0) --paren;
+          if ((u.text == ";" && paren == 0) || u.text == "{" ||
+              u.text == "}") {
+            return {first, u.line};
+          }
+        }
+        last = u.line;
+      }
+      return {first, last};
+    }
+  }
+  return {line, line};
+}
+
+std::set<std::string> allowed_rules_for(const SourceFile& file, int line) {
+  const StatementExtent ext = statement_extent(file.lex.tokens, line);
+  // Comment block above the statement start, plus the start line itself.
+  std::set<std::string> allows = allowed_rules(file.lines, ext.first);
+  // Every further physical line of the statement.
+  for (int l = ext.first + 1; l <= ext.last; ++l) {
+    const auto idx = static_cast<std::size_t>(l - 1);
+    if (idx < file.lines.size()) collect_allows(file.lines[idx], &allows);
+  }
+  return allows;
+}
+
 SourceTree::SourceTree(
     const std::vector<std::pair<std::string, std::string>>& files) {
   for (const auto& [rel, content] : files) {
