@@ -71,7 +71,9 @@ int main() {
   {
     sweep::Axis axis{"policy",
                      {{"reject overflow (paper)",
-                       [](core::Scenario& s) { s.server.reject_overflow = true; }},
+                       [](core::Scenario& s) {
+                         s.server.reject_overflow = true;
+                       }},
                       {"queue everything",
                        [](core::Scenario& s) {
                          s.server.reject_overflow = false;

@@ -11,27 +11,23 @@
 #include <memory>
 
 #include "ff/core/framefeedback.h"
+#include "ff/fleet/placement.h"
 
 namespace {
 
 using namespace ff;
 
-core::ControllerFactory reservation_factory(server::ReservationManager& mgr) {
-  return [&mgr](std::size_t device_index) {
-    return std::make_unique<control::ReservationController>(
-        mgr, device_index + 1);
-  };
-}
-
 void run_block(const std::string& title, const core::Scenario& scenario,
                const std::function<std::vector<core::PhaseStat>(
                    const core::ExperimentResult&)>& phases) {
-  server::ReservationManager mgr(
-      {models::gpu_throughput(
-           models::get_model(models::ModelId::kMobileNetV3Small), 15),
-       0.9});
+  // The shared manager + per-device controller wiring lives in ff::fleet
+  // (fleet::reservation_controller_factory) so experiments and this bench
+  // exercise one definition of the ATOMS-style baseline.
+  auto mgr = std::make_shared<server::ReservationManager>(
+      fleet::default_reservation_config());
 
-  const auto res = core::run_experiment(scenario, reservation_factory(mgr));
+  const auto res = core::run_experiment(
+      scenario, fleet::reservation_controller_factory(mgr));
   const auto ff = core::run_experiment(
       scenario,
       core::make_controller_factory<control::FrameFeedbackController>());

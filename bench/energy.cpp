@@ -49,7 +49,8 @@ int main() {
   }
   std::cout << table.render();
 
-  const double j_local = runs.points[0].result.devices[0].joules_per_inference();
+  const double j_local =
+      runs.points[0].result.devices[0].joules_per_inference();
   const double j_offload =
       runs.points[2].result.devices[0].joules_per_inference();
   std::cout << "\nOffloading delivers each inference for "

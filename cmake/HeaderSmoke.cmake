@@ -25,4 +25,5 @@ add_library(ff_header_smoke OBJECT ${ff_header_smoke_sources})
 # Linked only for the include paths; generated TUs define no symbols.
 target_link_libraries(ff_header_smoke PRIVATE
   ff::util ff::obs ff::sim ff::models ff::net ff::server ff::device
-  ff::control ff::rt ff::core ff::sweep ff::invariants ff_warnings)
+  ff::control ff::rt ff::core ff::fleet ff::sweep ff::invariants
+  ff_warnings)

@@ -21,6 +21,9 @@ struct ControllerInput {
   double timeout_rate{0.0};
   double network_timeout_rate{0.0};  ///< Tn component of T
   double load_timeout_rate{0.0};     ///< Tl component of T
+  /// Admission-control rejections per second (subset of Tl): typed server
+  /// refusals that fleet placement uses to re-home the device.
+  double admission_reject_rate{0.0};
   /// Offload results that arrived within the deadline, per second.
   double offload_success_rate{0.0};
   double local_rate{0.0};       ///< Pl achieved

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "ff/control/controller.h"
+#include "ff/core/fleet_topology.h"
+#include "ff/core/fleet_transport.h"
 #include "ff/core/networked_transport.h"
 #include "ff/core/scenario.h"
 #include "ff/device/edge_device.h"
@@ -42,10 +44,15 @@ struct DeviceResult {
   std::string controller;
   device::TelemetryTotals totals{};
   device::OffloadClientStats offload{};
-  net::ChannelStats uplink{};
+  net::ChannelStats uplink{};  ///< summed over the device's server paths
   SeriesBundle series;  ///< "P", "Pl", "Po_*", "T", "Tn", "Tl", "cpu",
                         ///< "quality", "accuracy", "power_w"
   double energy_joules{0.0};  ///< integrated electrical draw over the run
+  /// Server the placement layer assigned at build / was using at the end
+  /// (both 0 outside fleet scenarios; differing values mean the device
+  /// was re-homed after admission rejections).
+  std::size_t initial_server{0};
+  std::size_t final_server{0};
 
   /// Fraction of captured frames that produced a result within deadline.
   [[nodiscard]] double goodput_fraction() const;
@@ -57,12 +64,58 @@ struct DeviceResult {
   [[nodiscard]] double joules_per_inference() const;
 };
 
+/// Per-server summary. `stats.requests_received` counts device offloads
+/// and background load together, so the server-side conservation identity
+///   received == completed + rejected + admission_rejected
+///             + queue_depth_at_end + in_flight_batch_at_end
+/// holds exactly per server and summed across the fleet.
+struct ServerResult {
+  std::string name;
+  server::ServerStats stats{};
+  double gpu_utilization{0.0};
+  server::AdmissionStats admission{};
+  std::uint64_t queue_depth_at_end{0};
+  std::uint64_t in_flight_batch_at_end{0};
+
+  [[nodiscard]] bool conserved() const {
+    return stats.requests_received ==
+           stats.requests_completed + stats.requests_rejected +
+               stats.requests_admission_rejected + queue_depth_at_end +
+               in_flight_batch_at_end;
+  }
+};
+
+/// Per-tenant SLO accounting: member devices' totals rolled into one.
+struct TenantResult {
+  std::string name;
+  device::TelemetryTotals totals{};
+  double mean_throughput_fps{0.0};  ///< summed member mean P
+  double min_goodput{0.0};          ///< SLO from the TenantSloSpec
+  double min_throughput_fps{0.0};
+
+  [[nodiscard]] double goodput_fraction() const {
+    if (totals.frames_captured == 0) return 0.0;
+    return static_cast<double>(totals.successes()) /
+           static_cast<double>(totals.frames_captured);
+  }
+  [[nodiscard]] bool slo_met() const {
+    return goodput_fraction() >= min_goodput &&
+           mean_throughput_fps >= min_throughput_fps;
+  }
+};
+
 struct ExperimentResult {
   std::string scenario;
   std::uint64_t seed{0};
   SimTime duration{0};
   std::uint64_t events_executed{0};
   std::vector<DeviceResult> devices;
+  /// One entry per edge server (always at least one; single-server runs
+  /// land in servers[0], mirrored into the legacy fields below).
+  std::vector<ServerResult> servers;
+  std::vector<TenantResult> tenants;
+  /// Legacy single-server view: servers[0], kept so existing callers and
+  /// figures read unchanged.
   server::ServerStats server{};
   double server_gpu_utilization{0.0};
 
@@ -104,24 +157,40 @@ class Experiment {
   [[nodiscard]] sim::PartitionedSimulator* partitioned_simulator() {
     return psim_.get();
   }
-  [[nodiscard]] server::EdgeServer& server() { return *server_; }
+  [[nodiscard]] server::EdgeServer& server() { return *servers_.at(0); }
+  [[nodiscard]] server::EdgeServer& server(std::size_t s) {
+    return *servers_.at(s);
+  }
+  [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
   [[nodiscard]] device::EdgeDevice& device(std::size_t i) {
     return *rigs_.at(i)->device;
   }
   [[nodiscard]] control::Controller& controller(std::size_t i) {
     return *rigs_.at(i)->controller;
   }
+  /// The device's currently active server path.
   [[nodiscard]] NetworkedOffloadTransport& transport(std::size_t i) {
+    FleetOffloadTransport& t = *rigs_.at(i)->transport;
+    return t.path(t.active());
+  }
+  [[nodiscard]] FleetOffloadTransport& fleet_transport(std::size_t i) {
     return *rigs_.at(i)->transport;
+  }
+  /// Server the device is currently homed on (follows re-placement).
+  [[nodiscard]] std::size_t assigned_server(std::size_t i) const {
+    return rigs_.at(i)->transport->active();
   }
   [[nodiscard]] std::size_t device_count() const { return rigs_.size(); }
 
  private:
   struct DeviceRig {
+    std::size_t index{0};
     /// The simulator this rig's entities execute on: the shared one in a
     /// plain run, the device's partition in a partitioned run.
     sim::Simulator* sim{nullptr};
-    std::unique_ptr<NetworkedOffloadTransport> transport;
+    /// One NetworkedOffloadTransport path per server behind the fleet
+    /// selector; the M = 1 case is pass-through.
+    std::unique_ptr<FleetOffloadTransport> transport;
     std::unique_ptr<device::EdgeDevice> device;
     std::unique_ptr<control::Controller> controller;
     std::unique_ptr<sim::PeriodicTimer> control_timer;
@@ -131,11 +200,19 @@ class Experiment {
     std::unique_ptr<sim::PeriodicTimer> sample_timer;
     SeriesBundle series;
     models::EnergyMeter energy;
+    std::size_t initial_server{0};
+    /// Admission rejections already reacted to (re-placement edge detect).
+    std::uint64_t admission_rejections_seen{0};
   };
 
+  void resolve_topology();
+  [[nodiscard]] NetworkedTransportConfig path_config(
+      std::size_t device_index, const device::DeviceConfig& dconf,
+      std::size_t server_index) const;
   void build();
   void build_partitioned();
   void control_tick(DeviceRig& rig);
+  void maybe_rehome(DeviceRig& rig);
   void sample_tick();
   void sample_rig(DeviceRig& rig);
 
@@ -143,8 +220,14 @@ class Experiment {
   ControllerFactory factory_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<sim::PartitionedSimulator> psim_;
-  std::unique_ptr<server::EdgeServer> server_;
-  std::unique_ptr<server::LoadGenerator> load_;
+  /// Effective topology: Scenario::fleet, or one spec synthesized from
+  /// the legacy single-server fields.
+  std::vector<ServerSpec> specs_;
+  std::vector<std::unique_ptr<server::EdgeServer>> servers_;
+  std::vector<std::unique_ptr<server::LoadGenerator>> loads_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  /// Build-time device -> server assignment, one entry per device.
+  std::vector<std::size_t> assignments_;
   /// Shared uplink media ("APs"); device i contends on medium i % size().
   std::vector<std::unique_ptr<net::SharedMedium>> uplink_media_;
   std::vector<std::unique_ptr<DeviceRig>> rigs_;

@@ -1,0 +1,119 @@
+#pragma once
+
+// Fleet topology: the description that removes the single-server
+// assumption from the experiment runner. A scenario may describe M edge
+// servers (each with its own profile and private background load),
+// per-device placement hints, per-tenant SLO specs, and a placement
+// policy deciding device -> server assignment. An empty topology is the
+// M = 1 degenerate case: Experiment synthesizes one ServerSpec from the
+// legacy Scenario::server fields and the wiring is bit-identical to the
+// historical single-server path (verified by fingerprint in
+// tests/fleet/fleet_test.cpp).
+//
+// Only the abstract PlacementPolicy contract lives here (core), mirroring
+// ControllerFactory: concrete policies -- static, least-loaded,
+// reservation-based -- live above in src/fleet (ff::fleet), keeping the
+// layering DAG acyclic.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ff/device/edge_device.h"
+#include "ff/server/edge_server.h"
+#include "ff/server/load_generator.h"
+
+namespace ff::core {
+
+/// One edge server in the fleet, with its own background load.
+struct ServerSpec {
+  server::ServerConfig config{};
+  server::LoadSchedule background_load{};
+  server::LoadGeneratorConfig background{};
+};
+
+/// A named group of devices sharing service-level objectives. Member
+/// devices' TelemetryTotals are rolled into one TenantResult per run.
+struct TenantSloSpec {
+  std::string name{"tenant"};
+  std::vector<std::size_t> devices;  ///< indices into Scenario::devices
+  /// SLO: minimum fraction of captured frames answered within deadline.
+  double min_goodput{0.0};
+  /// SLO: minimum aggregate successful inference rate (frames/s).
+  double min_throughput_fps{0.0};
+};
+
+struct FleetTopology;
+
+/// Build-time context handed to PlacementPolicy::place.
+struct PlacementView {
+  std::size_t server_count{0};
+  /// Devices already assigned to each server (device order; grows as
+  /// place() is called device by device).
+  const std::vector<std::size_t>* assigned_counts{nullptr};
+  const FleetTopology* topology{nullptr};
+};
+
+/// Decides device -> server assignment at build time and re-assignment
+/// when a server turns a device away at admission.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called once per unhinted device at experiment construction, in
+  /// device order, single-threaded. Returns the server index in
+  /// [0, view.server_count).
+  [[nodiscard]] virtual std::size_t place(std::size_t device_index,
+                                          const device::DeviceConfig& device,
+                                          const PlacementView& view) = 0;
+
+  /// Called from a device's control tick when its server rejected offloads
+  /// at admission since the previous tick; returns the server the device
+  /// should use next, in [0, server_count) (current_server = stay put).
+  /// Partitioned runs invoke this concurrently from worker threads, so
+  /// implementations must be const, thread-safe, and deterministic: decide
+  /// only from the arguments and state precomputed in place() -- never
+  /// from live global load.
+  [[nodiscard]] virtual std::size_t on_rejection(
+      std::size_t device_index, std::size_t current_server,
+      std::size_t server_count, std::uint64_t rejections_total) const {
+    (void)device_index;
+    (void)server_count;
+    (void)rejections_total;
+    return current_server;
+  }
+};
+
+/// Produces a fresh policy per experiment; must be pure (sweep workers
+/// build experiments concurrently).
+using PlacementFactory = std::function<std::unique_ptr<PlacementPolicy>()>;
+
+/// M server profiles plus placement/tenancy metadata. enabled() == false
+/// (no servers) means the scenario is a legacy single-server description.
+struct FleetTopology {
+  std::vector<ServerSpec> servers;
+  /// Per-device hint: index into `servers`, or -1 to let the placement
+  /// policy decide. Devices past the end of the vector behave as -1.
+  std::vector<int> placement_hints;
+  std::vector<TenantSloSpec> tenants;
+  /// Decides unhinted devices; when null, static round-robin
+  /// (device i -> server i % M).
+  PlacementFactory placement;
+
+  [[nodiscard]] bool enabled() const { return !servers.empty(); }
+  [[nodiscard]] std::size_t server_count() const { return servers.size(); }
+
+  /// `count` copies of `base`. For count == 1 the name is left untouched
+  /// so the degenerate topology reproduces the legacy single-server run
+  /// bit-identically; for count > 1 each copy is suffixed "-<s>".
+  [[nodiscard]] static FleetTopology uniform(server::ServerConfig base,
+                                             std::size_t count);
+};
+
+}  // namespace ff::core

@@ -19,6 +19,8 @@
 #include "ff/control/reservation_controller.h"
 #include "ff/control/tuner.h"
 #include "ff/core/experiment.h"
+#include "ff/core/fleet_topology.h"
+#include "ff/core/fleet_transport.h"
 #include "ff/core/metrics.h"
 #include "ff/core/networked_transport.h"
 #include "ff/core/report.h"

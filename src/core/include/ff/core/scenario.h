@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "ff/core/fleet_topology.h"
 #include "ff/device/edge_device.h"
 #include "ff/net/netem.h"
 #include "ff/net/transport.h"
@@ -53,6 +54,13 @@ struct Scenario {
   server::ServerConfig server{};
   server::LoadSchedule background_load{};
   server::LoadGeneratorConfig background{};
+
+  /// Multi-server fleet description. When disabled (no servers) the
+  /// experiment synthesizes a one-server topology from the `server` /
+  /// `background*` fields above -- the M = 1 degenerate case, bit-identical
+  /// to the historical single-server wiring. When enabled, the fields
+  /// above are ignored in favor of the per-server ServerSpecs.
+  FleetTopology fleet{};
 
   /// Cadence of the recorded time series (figures sample at 1 Hz).
   SimDuration sample_period{kSecond};

@@ -41,17 +41,88 @@ Experiment::Experiment(Scenario scenario, ControllerFactory controllers)
 
 Experiment::~Experiment() = default;
 
+void Experiment::resolve_topology() {
+  if (scenario_.fleet.enabled()) {
+    specs_ = scenario_.fleet.servers;
+    if (scenario_.fleet.placement) {
+      placement_ = scenario_.fleet.placement();
+      if (!placement_) {
+        throw std::invalid_argument(
+            "Experiment: placement factory returned null");
+      }
+    }
+  } else {
+    // Legacy single-server scenario: the M = 1 degenerate topology.
+    ServerSpec spec;
+    spec.config = scenario_.server;
+    spec.background_load = scenario_.background_load;
+    spec.background = scenario_.background;
+    specs_.push_back(std::move(spec));
+  }
+
+  const std::size_t server_count = specs_.size();
+  std::vector<std::size_t> counts(server_count, 0);
+  PlacementView view;
+  view.server_count = server_count;
+  view.assigned_counts = &counts;
+  view.topology = &scenario_.fleet;
+
+  assignments_.reserve(scenario_.devices.size());
+  const auto& hints = scenario_.fleet.placement_hints;
+  for (std::size_t i = 0; i < scenario_.devices.size(); ++i) {
+    std::size_t target;
+    if (i < hints.size() && hints[i] >= 0) {
+      target = static_cast<std::size_t>(hints[i]);
+    } else if (placement_) {
+      target = placement_->place(i, scenario_.devices[i], view);
+    } else {
+      target = i % server_count;
+    }
+    if (target >= server_count) {
+      throw std::invalid_argument(
+          "Experiment: device placed on nonexistent server");
+    }
+    ++counts[target];
+    assignments_.push_back(target);
+  }
+}
+
+NetworkedTransportConfig Experiment::path_config(
+    std::size_t device_index, const device::DeviceConfig& dconf,
+    std::size_t server_index) const {
+  // With one server the names are exactly the legacy single-server names:
+  // RNG streams fork off component labels, so identical naming is what
+  // makes the M = 1 topology bit-identical to the historical path.
+  const std::string base =
+      specs_.size() == 1
+          ? dconf.name
+          : dconf.name + "~s" + std::to_string(server_index);
+  NetworkedTransportConfig tconf;
+  tconf.name = base;
+  tconf.client_id = device_index + 1;
+  tconf.model = dconf.model;
+  tconf.uplink = scenario_.uplink_template;
+  tconf.uplink.name = base + "/up";
+  tconf.downlink = scenario_.downlink_template;
+  tconf.downlink.name = base + "/down";
+  tconf.transport = scenario_.transport;
+  return tconf;
+}
+
 void Experiment::build() {
+  resolve_topology();
   if (scenario_.partitions > 0) {
     build_partitioned();
     return;
   }
   sim_ = std::make_unique<sim::Simulator>(scenario_.seed);
-  server_ = std::make_unique<server::EdgeServer>(*sim_, scenario_.server);
-
-  if (!scenario_.background_load.empty()) {
-    load_ = std::make_unique<server::LoadGenerator>(
-        *sim_, *server_, scenario_.background_load, scenario_.background);
+  for (const ServerSpec& spec : specs_) {
+    servers_.push_back(
+        std::make_unique<server::EdgeServer>(*sim_, spec.config));
+    if (!spec.background_load.empty()) {
+      loads_.push_back(std::make_unique<server::LoadGenerator>(
+          *sim_, *servers_.back(), spec.background_load, spec.background));
+    }
   }
 
   if (scenario_.shared_uplink_medium) {
@@ -67,27 +138,26 @@ void Experiment::build() {
   for (std::size_t i = 0; i < scenario_.devices.size(); ++i) {
     const auto& dconf = scenario_.devices[i];
     auto rig = std::make_unique<DeviceRig>();
+    rig->index = i;
     rig->sim = sim_.get();
 
-    NetworkedTransportConfig tconf;
-    tconf.name = dconf.name;
-    tconf.client_id = i + 1;
-    tconf.model = dconf.model;
-    tconf.uplink = scenario_.uplink_template;
-    tconf.uplink.name = dconf.name + "/up";
-    tconf.downlink = scenario_.downlink_template;
-    tconf.downlink.name = dconf.name + "/down";
-    tconf.transport = scenario_.transport;
-    rig->transport = std::make_unique<NetworkedOffloadTransport>(
-        *sim_, *server_, std::move(tconf));
-
-    for (net::Link* link : rig->transport->path().links()) {
-      shaped_links.push_back(link);
+    rig->transport = std::make_unique<FleetOffloadTransport>();
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      auto path = std::make_unique<NetworkedOffloadTransport>(
+          *sim_, *servers_[s], path_config(i, dconf, s));
+      for (net::Link* link : path->path().links()) {
+        shaped_links.push_back(link);
+      }
+      if (!uplink_media_.empty()) {
+        // The AP is on the device side: every server path of this device
+        // contends on the device group's medium.
+        path->path().forward_link().attach_medium(
+            uplink_media_[i % uplink_media_.size()].get());
+      }
+      rig->transport->add_path(std::move(path));
     }
-    if (!uplink_media_.empty()) {
-      rig->transport->path().forward_link().attach_medium(
-          uplink_media_[i % uplink_media_.size()].get());
-    }
+    rig->transport->set_active(assignments_[i]);
+    rig->initial_server = assignments_[i];
 
     rig->device =
         std::make_unique<device::EdgeDevice>(*sim_, *rig->transport, dconf);
@@ -130,13 +200,21 @@ void Experiment::build_partitioned() {
         "lookahead); this scenario's minimum is zero");
   }
 
-  // Partition 0 hosts the server side: EdgeServer, background load, and
-  // every reverse link (server transmissions).
-  sim::Simulator& server_sim = psim_->partition(0);
-  server_ = std::make_unique<server::EdgeServer>(server_sim, scenario_.server);
-  if (!scenario_.background_load.empty()) {
-    load_ = std::make_unique<server::LoadGenerator>(
-        server_sim, *server_, scenario_.background_load, scenario_.background);
+  // Server s lives on partition s % K (s = 0 on partition 0, preserving
+  // the legacy single-server mapping): its EdgeServer, background load,
+  // and every reverse link it transmits on.
+  std::vector<sim::Simulator*> server_sims;
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    const ServerSpec& spec = specs_[s];
+    sim::Simulator& server_sim = psim_->partition(s % parts);
+    server_sims.push_back(&server_sim);
+    servers_.push_back(
+        std::make_unique<server::EdgeServer>(server_sim, spec.config));
+    if (!spec.background_load.empty()) {
+      loads_.push_back(std::make_unique<server::LoadGenerator>(
+          server_sim, *servers_.back(), spec.background_load,
+          spec.background));
+    }
   }
 
   // A shared medium is one contention domain: all its links must live on
@@ -155,40 +233,40 @@ void Experiment::build_partitioned() {
   for (std::size_t i = 0; i < scenario_.devices.size(); ++i) {
     const auto& dconf = scenario_.devices[i];
     auto rig = std::make_unique<DeviceRig>();
+    rig->index = i;
     const std::size_t group = scenario_.shared_uplink_medium ? i % groups : i;
     const std::size_t part = group % parts;
     sim::Simulator& dev_sim = psim_->partition(part);
     rig->sim = &dev_sim;
 
-    NetworkedTransportConfig tconf;
-    tconf.name = dconf.name;
-    tconf.client_id = i + 1;
-    tconf.model = dconf.model;
-    tconf.uplink = scenario_.uplink_template;
-    tconf.uplink.name = dconf.name + "/up";
-    tconf.downlink = scenario_.downlink_template;
-    tconf.downlink.name = dconf.name + "/down";
-    tconf.transport = scenario_.transport;
-    rig->transport = std::make_unique<NetworkedOffloadTransport>(
-        dev_sim, server_sim, *server_, std::move(tconf));
+    rig->transport = std::make_unique<FleetOffloadTransport>();
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      const std::size_t server_part = s % parts;
+      auto path = std::make_unique<NetworkedOffloadTransport>(
+          dev_sim, *server_sims[s], *servers_[s], path_config(i, dconf, s));
 
-    // Each link crosses from its sender's partition to the receiver's;
-    // self-edges (device in partition 0) still route through the mailbox
-    // so the delivery order contract is identical at every K.
-    net::Link& fwd = rig->transport->path().forward_link();
-    net::Link& rev = rig->transport->path().reverse_link();
-    fwd.bind_boundary(&psim_->add_edge(part, 0, floor));
-    rev.bind_boundary(&psim_->add_edge(0, part, floor));
+      // Each link crosses from its sender's partition to the receiver's;
+      // self-edges (device co-partitioned with the server) still route
+      // through the mailbox so the delivery order contract is identical
+      // at every K.
+      net::Link& fwd = path->path().forward_link();
+      net::Link& rev = path->path().reverse_link();
+      fwd.bind_boundary(&psim_->add_edge(part, server_part, floor));
+      rev.bind_boundary(&psim_->add_edge(server_part, part, floor));
 
-    // Netem is applied per link on the link's home simulator: phase
-    // changes are sender-side state, and one event per (phase, link)
-    // keeps the event count independent of the partition count.
-    scenario_.network.apply(fwd.simulator(), {&fwd});
-    scenario_.network.apply(rev.simulator(), {&rev});
+      // Netem is applied per link on the link's home simulator: phase
+      // changes are sender-side state, and one event per (phase, link)
+      // keeps the event count independent of the partition count.
+      scenario_.network.apply(fwd.simulator(), {&fwd});
+      scenario_.network.apply(rev.simulator(), {&rev});
 
-    if (!uplink_media_.empty()) {
-      fwd.attach_medium(uplink_media_[group].get());
+      if (!uplink_media_.empty()) {
+        fwd.attach_medium(uplink_media_[group].get());
+      }
+      rig->transport->add_path(std::move(path));
     }
+    rig->transport->set_active(assignments_[i]);
+    rig->initial_server = assignments_[i];
 
     rig->device =
         std::make_unique<device::EdgeDevice>(dev_sim, *rig->transport, dconf);
@@ -218,10 +296,12 @@ void Experiment::set_trace_sink(obs::TraceSink* sink) {
     synced_sink_.reset();
   }
   trace_sink_ = sink;
-  server_->attach_trace_sink(sink);
+  for (auto& server : servers_) server->attach_trace_sink(sink);
   for (auto& rig : rigs_) {
     rig->device->attach_trace_sink(sink);
-    rig->transport->path().attach_trace_sink(sink);
+    for (std::size_t s = 0; s < rig->transport->path_count(); ++s) {
+      rig->transport->path(s).path().attach_trace_sink(sink);
+    }
   }
 }
 
@@ -239,6 +319,7 @@ void Experiment::control_tick(DeviceRig& rig) {
     dev.set_frame_quality(*quality);
   }
   if (ctl.wants_probe()) dev.send_probe();
+  maybe_rehome(rig);
 
   if (trace_sink_ != nullptr) {
     obs::TraceEvent event(rig.sim->now(), obs::ev::kControlTick,
@@ -252,6 +333,24 @@ void Experiment::control_tick(DeviceRig& rig) {
       event.with("e", ffc->last_error()).with("u", ffc->last_update());
     }
     trace_sink_->emit(event);
+  }
+}
+
+/// Rejection -> re-placement: when the server turned this device away at
+/// admission since the last tick, ask the placement policy where to go
+/// next. Runs on the device's own partition; on_rejection is const and
+/// thread-safe by contract, and set_active only mutates this rig.
+void Experiment::maybe_rehome(DeviceRig& rig) {
+  if (!placement_ || rig.transport->path_count() <= 1) return;
+  const std::uint64_t rejections =
+      rig.device->offload_client().stats().admission_rejections;
+  if (rejections <= rig.admission_rejections_seen) return;
+  rig.admission_rejections_seen = rejections;
+  const std::size_t current = rig.transport->active();
+  const std::size_t next = placement_->on_rejection(
+      rig.index, current, rig.transport->path_count(), rejections);
+  if (next != current && next < rig.transport->path_count()) {
+    rig.transport->set_active(next);
   }
 }
 
@@ -291,7 +390,7 @@ ExperimentResult Experiment::run() {
     first_control = std::max(first_control,
                              rig->controller->measure_period());
   }
-  if (load_) load_->start();
+  for (auto& load : loads_) load->start();
   // Offset sampling half a period after control ticks so each sample sees
   // the period's settled state; the first sample lands half a sample
   // period after the last rig's first control tick, so no series ever
@@ -313,8 +412,19 @@ ExperimentResult Experiment::run() {
   result.duration = psim_ ? psim_->now() : sim_->now();
   result.events_executed =
       psim_ ? psim_->events_executed() : sim_->events_executed();
-  result.server = server_->stats();
-  result.server_gpu_utilization = server_->gpu_utilization();
+
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    ServerResult sr;
+    sr.name = specs_[s].config.name;
+    sr.stats = servers_[s]->stats();
+    sr.gpu_utilization = servers_[s]->gpu_utilization();
+    sr.admission = servers_[s]->admission().stats();
+    sr.queue_depth_at_end = servers_[s]->queue_depth();
+    sr.in_flight_batch_at_end = servers_[s]->in_flight_batch();
+    result.servers.push_back(std::move(sr));
+  }
+  result.server = result.servers.front().stats;
+  result.server_gpu_utilization = result.servers.front().gpu_utilization;
 
   for (auto& rig : rigs_) {
     DeviceResult d;
@@ -329,7 +439,22 @@ ExperimentResult Experiment::run() {
     d.uplink = rig->transport->uplink_stats();
     d.energy_joules = rig->energy.joules();
     d.series = std::move(rig->series);
+    d.initial_server = rig->initial_server;
+    d.final_server = rig->transport->active();
     result.devices.push_back(std::move(d));
+  }
+
+  for (const TenantSloSpec& spec : scenario_.fleet.tenants) {
+    TenantResult tr;
+    tr.name = spec.name;
+    tr.min_goodput = spec.min_goodput;
+    tr.min_throughput_fps = spec.min_throughput_fps;
+    for (const std::size_t member : spec.devices) {
+      const DeviceResult& d = result.devices.at(member);
+      tr.totals += d.totals;
+      tr.mean_throughput_fps += d.mean_throughput();
+    }
+    result.tenants.push_back(std::move(tr));
   }
   return result;
 }

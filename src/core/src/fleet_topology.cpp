@@ -1,0 +1,22 @@
+#include "ff/core/fleet_topology.h"
+
+#include <utility>
+
+namespace ff::core {
+
+FleetTopology FleetTopology::uniform(server::ServerConfig base,
+                                     std::size_t count) {
+  FleetTopology topo;
+  topo.servers.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    ServerSpec spec;
+    spec.config = base;
+    if (count > 1) {
+      spec.config.name = base.name + "-" + std::to_string(s);
+    }
+    topo.servers.push_back(std::move(spec));
+  }
+  return topo;
+}
+
+}  // namespace ff::core

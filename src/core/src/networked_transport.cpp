@@ -5,8 +5,32 @@
 namespace ff::core {
 namespace {
 
-/// Bit 62 of a downlink message id marks a rejection notice.
+/// Bit 62 of a downlink message id marks a load rejection (batch-formation
+/// shedding); bit 61 marks an admission-control rejection. Together they
+/// encode the typed OffloadReply without widening the wire format.
 constexpr std::uint64_t kRejectBit = 1ULL << 62;
+constexpr std::uint64_t kAdmissionBit = 1ULL << 61;
+constexpr std::uint64_t kStatusMask = kRejectBit | kAdmissionBit;
+
+std::uint64_t encode_status(server::RequestStatus status) {
+  switch (status) {
+    case server::RequestStatus::kCompleted:
+      return 0;
+    case server::RequestStatus::kRejected:
+      return kRejectBit;
+    case server::RequestStatus::kRejectedAdmission:
+      return kAdmissionBit;
+  }
+  return 0;
+}
+
+device::OffloadReply decode_status(std::uint64_t id) {
+  if ((id & kAdmissionBit) != 0) {
+    return device::OffloadReply::kRejectedAdmission;
+  }
+  if ((id & kRejectBit) != 0) return device::OffloadReply::kRejectedLoad;
+  return device::OffloadReply::kCompleted;
+}
 
 }  // namespace
 
@@ -32,17 +56,15 @@ NetworkedOffloadTransport::NetworkedOffloadTransport(
     req.payload = payload;
     server_.submit(std::move(req),
                    [this](const server::RequestOutcome& outcome) {
-      const bool rejected =
-          outcome.status == server::RequestStatus::kRejected;
       const std::uint64_t response_id =
-          outcome.request.request_id | (rejected ? kRejectBit : 0);
+          outcome.request.request_id | encode_status(outcome.status);
       path_.downlink().send(response_id, Bytes{models::kResultBytes});
     });
   });
 
-  // Device side: decode the rejection bit and hand the response up.
+  // Device side: decode the status bits and hand the response up.
   path_.downlink().set_on_message([this](std::uint64_t id, Bytes) {
-    if (on_response_) on_response_(id & ~kRejectBit, (id & kRejectBit) != 0);
+    if (on_response_) on_response_(id & ~kStatusMask, decode_status(id));
   });
 
   // A failed uplink send means the frame never (fully) reached the server.

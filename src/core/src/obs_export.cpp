@@ -83,6 +83,8 @@ void export_metrics(const ExperimentResult& result,
       .add(static_cast<double>(result.server.requests_completed));
   registry.counter("server.requests_rejected", run)
       .add(static_cast<double>(result.server.requests_rejected));
+  registry.counter("server.requests_admission_rejected", run)
+      .add(static_cast<double>(result.server.requests_admission_rejected));
   registry.counter("server.batches_executed", run)
       .add(static_cast<double>(result.server.batches_executed));
   registry.gauge("server.mean_batch_size", run)
@@ -92,6 +94,36 @@ void export_metrics(const ExperimentResult& result,
   if (result.server.service_latency_us.count() > 0) {
     registry.gauge("server.service_latency_us_mean", run)
         .set(result.server.service_latency_us.mean());
+  }
+
+  // Fleet runs: per-server and per-tenant breakdowns (the single-server
+  // aggregate above stays as servers[0] for existing dashboards).
+  if (result.servers.size() > 1) {
+    for (const auto& s : result.servers) {
+      const obs::Labels labels{{"scenario", result.scenario},
+                               {"server", s.name}};
+      registry.counter("fleet.requests_received", labels)
+          .add(static_cast<double>(s.stats.requests_received));
+      registry.counter("fleet.requests_completed", labels)
+          .add(static_cast<double>(s.stats.requests_completed));
+      registry.counter("fleet.requests_rejected", labels)
+          .add(static_cast<double>(s.stats.requests_rejected));
+      registry.counter("fleet.requests_admission_rejected", labels)
+          .add(static_cast<double>(s.stats.requests_admission_rejected));
+      registry.gauge("fleet.gpu_utilization", labels)
+          .set(s.gpu_utilization);
+    }
+  }
+  for (const auto& t : result.tenants) {
+    const obs::Labels labels{{"scenario", result.scenario},
+                             {"tenant", t.name}};
+    registry.counter("tenant.frames_captured", labels)
+        .add(static_cast<double>(t.totals.frames_captured));
+    registry.gauge("tenant.goodput_fraction", labels)
+        .set(t.goodput_fraction());
+    registry.gauge("tenant.mean_throughput_fps", labels)
+        .set(t.mean_throughput_fps);
+    registry.gauge("tenant.slo_met", labels).set(t.slo_met() ? 1.0 : 0.0);
   }
 
   for (const auto& d : result.devices) export_device(d, registry);

@@ -28,11 +28,29 @@ void print_summary(std::ostream& os, const ExperimentResult& result) {
                    latency, fmt(q.mean_cpu_utilization * 100, 1)});
   }
   os << table.render();
-  os << "server: batches=" << result.server.batches_executed
-     << " mean-batch=" << fmt(result.server.mean_batch_size(), 2)
-     << " completed=" << result.server.requests_completed
-     << " rejected=" << result.server.requests_rejected
-     << " gpu-util=" << fmt(result.server_gpu_utilization * 100, 1) << "%\n";
+  if (result.servers.size() <= 1) {
+    os << "server: batches=" << result.server.batches_executed
+       << " mean-batch=" << fmt(result.server.mean_batch_size(), 2)
+       << " completed=" << result.server.requests_completed
+       << " rejected=" << result.server.requests_rejected
+       << " gpu-util=" << fmt(result.server_gpu_utilization * 100, 1)
+       << "%\n";
+  } else {
+    for (const auto& s : result.servers) {
+      os << "server " << s.name << ": batches=" << s.stats.batches_executed
+         << " mean-batch=" << fmt(s.stats.mean_batch_size(), 2)
+         << " completed=" << s.stats.requests_completed
+         << " rejected=" << s.stats.requests_rejected
+         << " admission-rejected=" << s.stats.requests_admission_rejected
+         << " gpu-util=" << fmt(s.gpu_utilization * 100, 1) << "%\n";
+    }
+  }
+  for (const auto& t : result.tenants) {
+    os << "tenant " << t.name << ": frames=" << t.totals.frames_captured
+       << " goodput=" << fmt(t.goodput_fraction() * 100, 1)
+       << "% P=" << fmt(t.mean_throughput_fps, 2)
+       << " slo=" << (t.slo_met() ? "met" : "MISSED") << "\n";
+  }
 }
 
 void print_phase_comparison(std::ostream& os,

@@ -121,6 +121,42 @@ Scenario scenario_from_config(const Config& config) {
     s.background.payload = models::frame_bytes({});
   }
 
+  // Fleet topology: `fleet.servers` replicates the scenario's server
+  // profile (and its background load) M ways. Unhinted devices place
+  // round-robin; richer policies (ff::fleet) attach programmatically via
+  // Scenario::fleet.placement.
+  if (config.has("fleet.servers")) {
+    const auto m = static_cast<std::size_t>(
+        std::max<std::int64_t>(config.get_int("fleet.servers", 1), 1));
+    s.fleet = FleetTopology::uniform(s.server, m);
+    for (auto& spec : s.fleet.servers) {
+      spec.background_load = s.background_load;
+      spec.background = s.background;
+    }
+  }
+  if (const auto policy = config.get("fleet.admission.policy")) {
+    server::AdmissionConfig ac;
+    if (*policy == "none") {
+      ac.policy = server::AdmissionPolicy::kNone;
+    } else if (*policy == "token-bucket") {
+      ac.policy = server::AdmissionPolicy::kTokenBucket;
+    } else if (*policy == "queue-depth") {
+      ac.policy = server::AdmissionPolicy::kQueueDepth;
+    } else {
+      throw std::invalid_argument(
+          "unknown fleet.admission.policy '" + *policy +
+          "'; known: none, token-bucket, queue-depth");
+    }
+    ac.rate_fps = config.get_double("fleet.admission.rate", ac.rate_fps);
+    ac.burst = config.get_double("fleet.admission.burst", ac.burst);
+    ac.max_queue_depth = static_cast<std::size_t>(std::max<std::int64_t>(
+        config.get_int("fleet.admission.queue_limit",
+                       static_cast<std::int64_t>(ac.max_queue_depth)),
+        1));
+    s.server.admission = ac;
+    for (auto& spec : s.fleet.servers) spec.config.admission = ac;
+  }
+
   return s;
 }
 

@@ -34,6 +34,9 @@ struct OffloadClientStats {
   std::uint64_t successes{0};
   std::uint64_t timeouts_network{0};
   std::uint64_t timeouts_load{0};
+  /// Subset of timeouts_load caused by admission control (typed
+  /// OffloadReply::kRejectedAdmission responses).
+  std::uint64_t admission_rejections{0};
   std::uint64_t late_responses{0};  ///< arrived after being counted as Tn
   std::uint64_t probes_sent{0};
   std::uint64_t probes_ok{0};
@@ -91,7 +94,7 @@ class OffloadClient {
     sim::EventId deadline_event;
   };
 
-  void handle_response(std::uint64_t id, bool rejected);
+  void handle_response(std::uint64_t id, OffloadReply reply);
   void handle_failure(std::uint64_t id);
   void handle_deadline(std::uint64_t id);
 

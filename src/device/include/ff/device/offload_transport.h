@@ -11,11 +11,24 @@
 
 namespace ff::device {
 
+/// What the server said about one offloaded frame. Both rejection kinds
+/// count as load timeouts (Tl) in the conservation identity; the
+/// distinction feeds fleet placement (a device repeatedly turned away at
+/// admission is a candidate for re-homing to another server).
+enum class OffloadReply : std::uint8_t {
+  kCompleted,          ///< inference ran; result delivered
+  kRejectedLoad,       ///< shed at batch formation (queue overflow)
+  kRejectedAdmission,  ///< turned away by the admission controller
+};
+
+[[nodiscard]] constexpr bool is_rejection(OffloadReply reply) {
+  return reply != OffloadReply::kCompleted;
+}
+
 class OffloadTransport {
  public:
-  /// Response for frame `id`; `rejected` = the server refused it at batch
-  /// formation (load shedding).
-  using ResponseFn = std::function<void(std::uint64_t id, bool rejected)>;
+  /// Response for frame `id` with the server's typed verdict.
+  using ResponseFn = std::function<void(std::uint64_t id, OffloadReply reply)>;
   /// The transport gave up delivering frame `id` (retry budget exhausted).
   using FailureFn = std::function<void(std::uint64_t id)>;
 

@@ -19,6 +19,10 @@ struct TelemetryTotals {
   std::uint64_t offload_successes{0};
   std::uint64_t timeouts_network{0};  ///< Tn events
   std::uint64_t timeouts_load{0};     ///< Tl events
+  /// Subset of timeouts_load rejected by server admission control (typed
+  /// responses, ff/server/admission.h). Informational: already counted in
+  /// timeouts_load, so the conservation identity is unchanged.
+  std::uint64_t admission_rejections{0};
   /// Frames still pending (encoding, offload in flight, local queue) when
   /// the run's horizon cut the simulation off; without this term the frame
   /// conservation identity has a hole exactly as wide as the pipeline.
@@ -40,6 +44,21 @@ struct TelemetryTotals {
   [[nodiscard]] bool conserved() const {
     return frames_captured == accounted();
   }
+
+  /// Rolls another device's totals into this one (per-tenant SLO
+  /// accounting sums member devices; conservation still holds on the sum).
+  TelemetryTotals& operator+=(const TelemetryTotals& other) {
+    frames_captured += other.frames_captured;
+    local_completions += other.local_completions;
+    local_drops += other.local_drops;
+    offload_attempts += other.offload_attempts;
+    offload_successes += other.offload_successes;
+    timeouts_network += other.timeouts_network;
+    timeouts_load += other.timeouts_load;
+    admission_rejections += other.admission_rejections;
+    in_flight_at_end += other.in_flight_at_end;
+    return *this;
+  }
 };
 
 class Telemetry {
@@ -53,6 +72,9 @@ class Telemetry {
   void record_offload_success(SimTime t, SimDuration latency);
   void record_timeout_network(SimTime t);
   void record_timeout_load(SimTime t);
+  /// An admission-control rejection: counts as a load timeout (Tl) plus
+  /// the informational admission counters.
+  void record_admission_rejection(SimTime t);
   /// Records the frames still in the pipeline when the run ended (set once
   /// by the experiment runner after the horizon; overwrites, not adds).
   void record_in_flight_at_end(std::uint64_t frames) {
@@ -69,6 +91,9 @@ class Telemetry {
   [[nodiscard]] double timeout_rate(SimTime now);
   [[nodiscard]] double network_timeout_rate(SimTime now);
   [[nodiscard]] double load_timeout_rate(SimTime now);
+  /// Admission rejections per second over the window (subset of the load
+  /// timeout rate); feeds placement re-homing decisions.
+  [[nodiscard]] double admission_reject_rate(SimTime now);
   /// P: total successful inference rate (local + offload successes).
   [[nodiscard]] double throughput(SimTime now);
   /// Capture rate over the window (should track Fs).
@@ -89,6 +114,7 @@ class Telemetry {
   SlidingWindowCounter offload_done_;
   SlidingWindowCounter timeouts_net_;
   SlidingWindowCounter timeouts_load_;
+  SlidingWindowCounter admission_rej_;
   SlidingWindowMean offload_latency_;
 };
 

@@ -93,6 +93,7 @@ control::ControllerInput EdgeDevice::controller_input() {
   in.timeout_rate = telemetry_.timeout_rate(now);
   in.network_timeout_rate = telemetry_.network_timeout_rate(now);
   in.load_timeout_rate = telemetry_.load_timeout_rate(now);
+  in.admission_reject_rate = telemetry_.admission_reject_rate(now);
   in.offload_success_rate = telemetry_.offload_success_rate(now);
   in.local_rate = telemetry_.local_rate(now);
   in.frame_quality = config_.frame.jpeg_quality;

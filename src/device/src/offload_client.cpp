@@ -13,8 +13,8 @@ OffloadClient::OffloadClient(sim::Simulator& sim, OffloadTransport& transport,
       telemetry_(telemetry),
       config_(std::move(config)) {
   transport_.set_on_response(
-      [this](std::uint64_t id, bool rejected) { handle_response(id,
-                                                                rejected); });
+      [this](std::uint64_t id, OffloadReply reply) { handle_response(id,
+                                                                     reply); });
   transport_.set_on_failure([this](std::uint64_t id) { handle_failure(id); });
 }
 
@@ -49,14 +49,14 @@ void OffloadClient::send_probe(std::uint64_t probe_id, Bytes payload,
   transport_.offload(probe_id, payload);
 }
 
-void OffloadClient::handle_response(std::uint64_t id, bool rejected) {
+void OffloadClient::handle_response(std::uint64_t id, OffloadReply reply) {
   const SimTime now = sim_.now();
 
   if (const auto pit = probes_.find(id); pit != probes_.end()) {
     sim_.cancel(pit->second.deadline_event);
     ProbeFn fn = std::move(pit->second.on_done);
     probes_.erase(pit);
-    const bool ok = !rejected;
+    const bool ok = !is_rejection(reply);
     ok ? ++stats_.probes_ok : ++stats_.probes_failed;
     fn(ok);
     return;
@@ -71,9 +71,14 @@ void OffloadClient::handle_response(std::uint64_t id, bool rejected) {
   const SimTime capture_time = it->second.capture_time;
   pending_.erase(it);
 
-  if (rejected) {
+  if (is_rejection(reply)) {
     ++stats_.timeouts_load;
-    telemetry_.record_timeout_load(now);
+    if (reply == OffloadReply::kRejectedAdmission) {
+      ++stats_.admission_rejections;
+      telemetry_.record_admission_rejection(now);
+    } else {
+      telemetry_.record_timeout_load(now);
+    }
     trace(now, obs::ev::kFrameTimeoutLoad, id);
     FF_TRACE("offload") << "frame " << id << " rejected by server";
   } else {

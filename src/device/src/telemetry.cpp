@@ -10,6 +10,7 @@ Telemetry::Telemetry(SimDuration window)
       offload_done_(window),
       timeouts_net_(window),
       timeouts_load_(window),
+      admission_rej_(window),
       offload_latency_(window) {}
 
 void Telemetry::record_frame_captured(SimTime t) {
@@ -45,6 +46,12 @@ void Telemetry::record_timeout_load(SimTime t) {
   timeouts_load_.add(t);
 }
 
+void Telemetry::record_admission_rejection(SimTime t) {
+  record_timeout_load(t);
+  ++totals_.admission_rejections;
+  admission_rej_.add(t);
+}
+
 double Telemetry::local_rate(SimTime now) { return local_done_.rate(now); }
 
 double Telemetry::offload_success_rate(SimTime now) {
@@ -65,6 +72,10 @@ double Telemetry::network_timeout_rate(SimTime now) {
 
 double Telemetry::load_timeout_rate(SimTime now) {
   return timeouts_load_.rate(now);
+}
+
+double Telemetry::admission_reject_rate(SimTime now) {
+  return admission_rej_.rate(now);
 }
 
 double Telemetry::throughput(SimTime now) {

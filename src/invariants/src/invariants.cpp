@@ -92,6 +92,40 @@ InvariantCheck check_conservation(const core::ExperimentResult& result) {
   return c;
 }
 
+/// Server-side half of conservation: every request that entered a server
+/// (device offloads and background load alike) left as a completion, a
+/// rejection, or is still visibly queued/in the in-flight batch at the
+/// horizon -- per server, hence exactly summed across the whole fleet.
+InvariantCheck check_fleet_conservation(const core::ExperimentResult& result) {
+  InvariantCheck c;
+  c.name = "fleet_conservation";
+  c.bound = 0.0;
+  c.passed = true;
+  std::string detail;
+  double worst = 0.0;
+  for (const core::ServerResult& s : result.servers) {
+    const auto accounted =
+        s.stats.requests_completed + s.stats.requests_rejected +
+        s.stats.requests_admission_rejected + s.queue_depth_at_end +
+        s.in_flight_batch_at_end;
+    const double gap = static_cast<double>(s.stats.requests_received) -
+                       static_cast<double>(accounted);
+    worst = std::max(worst, std::abs(gap));
+    if (!s.conserved()) {
+      c.passed = false;
+      if (!detail.empty()) detail += "; ";
+      detail += s.name + ": received " +
+                std::to_string(s.stats.requests_received) +
+                " != accounted " + std::to_string(accounted);
+    }
+  }
+  c.observed = worst;
+  c.detail = c.passed ? "received == completed + rejected + "
+                        "admission-rejected + backlog, every server"
+                      : detail;
+  return c;
+}
+
 InvariantCheck check_po_flapping(const core::ExperimentResult& result,
                                  const InvariantThresholds& th) {
   InvariantCheck c;
@@ -226,6 +260,7 @@ std::vector<InvariantCheck> evaluate_invariants(
     const InvariantThresholds& thresholds, double event_cost_p99_us) {
   std::vector<InvariantCheck> checks;
   checks.push_back(check_conservation(result));
+  checks.push_back(check_fleet_conservation(result));
   checks.push_back(check_po_flapping(result, thresholds));
   checks.push_back(check_convergence(scenario, result, thresholds));
   checks.push_back(check_deadline_p99(scenario, result));

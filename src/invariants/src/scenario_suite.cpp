@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ff/fleet/placement.h"
+
 namespace ff::invariants {
 namespace {
 
@@ -135,6 +137,43 @@ DisturbanceScenario device_churn() {
   return d;
 }
 
+DisturbanceScenario fleet_rebalance() {
+  DisturbanceScenario d;
+  d.name = "fleet_rebalance";
+  d.description =
+      "two-server fleet with queue-depth admission: server 0 stalls under "
+      "a 220 req/s burst mid-run and the placement policy re-homes its "
+      "devices to server 1";
+  d.scenario = base(d.name);
+  device::DeviceConfig peer = d.scenario.devices[0];
+  for (int i = 1; i < 4; ++i) {
+    device::DeviceConfig extra = peer;
+    extra.name = peer.name + "-" + std::to_string(i);
+    d.scenario.add_device(std::move(extra));
+  }
+
+  core::FleetTopology fleet =
+      core::FleetTopology::uniform(d.scenario.server, 2);
+  server::AdmissionConfig admission;
+  admission.policy = server::AdmissionPolicy::kQueueDepth;
+  admission.max_queue_depth = 48;
+  for (auto& spec : fleet.servers) {
+    spec.config.admission = admission;
+    spec.background = d.scenario.background;
+  }
+  // The stall hits server 0 only; server 1 stays clean, so re-homed
+  // devices recover and the loop converges there.
+  fleet.servers[0].background_load = server::LoadSchedule()
+                                         .add(0, Rate{0})
+                                         .add(kOn, Rate{220})
+                                         .add(45 * kSecond, Rate{0});
+  fleet.placement = fleet::least_loaded_placement();
+  d.scenario.fleet = std::move(fleet);
+  d.disturbance_start = kOn;
+  d.disturbance_end = 45 * kSecond;
+  return d;
+}
+
 DisturbanceScenario partition_determinism() {
   DisturbanceScenario d;
   d.name = "partition_determinism";
@@ -166,9 +205,9 @@ DisturbanceScenario partition_determinism() {
 }  // namespace
 
 std::vector<DisturbanceScenario> default_suite() {
-  return {loss_burst(),    bandwidth_collapse(), retry_storm(),
-          server_overload(), server_stall(),     device_churn(),
-          partition_determinism()};
+  return {loss_burst(),      bandwidth_collapse(), retry_storm(),
+          server_overload(), server_stall(),       device_churn(),
+          fleet_rebalance(), partition_determinism()};
 }
 
 DisturbanceScenario find_scenario(const std::string& name) {

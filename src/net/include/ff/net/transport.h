@@ -45,6 +45,22 @@ struct ChannelStats {
   std::uint64_t acks_received{0};
   std::uint64_t duplicate_fragments{0};
   std::uint64_t partials_expired{0};
+
+  /// Accumulates another channel's counters (fleet transports report one
+  /// logical uplink summed over their per-server paths).
+  ChannelStats& operator+=(const ChannelStats& other) {
+    messages_sent += other.messages_sent;
+    sends_succeeded += other.sends_succeeded;
+    sends_failed += other.sends_failed;
+    sends_cancelled += other.sends_cancelled;
+    messages_delivered += other.messages_delivered;
+    fragments_sent += other.fragments_sent;
+    retransmissions += other.retransmissions;
+    acks_received += other.acks_received;
+    duplicate_fragments += other.duplicate_fragments;
+    partials_expired += other.partials_expired;
+    return *this;
+  }
 };
 
 /// One direction of reliable messaging: data packets ride `data_link`,

@@ -48,6 +48,8 @@ inline constexpr std::string_view kServerBatchStart = "server.batch_start";
 inline constexpr std::string_view kServerBatchDone = "server.batch_done";
 inline constexpr std::string_view kServerComplete = "server.complete";
 inline constexpr std::string_view kServerReject = "server.reject";
+inline constexpr std::string_view kServerAdmissionReject =
+    "server.admission_reject";
 // Controller decisions.
 inline constexpr std::string_view kControlTick = "ctl.tick";
 // Sweep engine lifecycle (ff::sweep).

@@ -1,0 +1,71 @@
+#pragma once
+
+// Server-side admission control (ISSUE 9 / SmartDet, Chakrabarti et al.):
+// a policy consulted on every ingress request BEFORE it is queued. Where
+// the adaptive batcher sheds load at batch formation (the Tl source the
+// paper models), admission control turns requests away at the door -- a
+// token bucket bounding the sustained ingress rate, or a queue-depth gate
+// bounding the backlog. Rejections are surfaced to the device as a typed
+// response (RequestStatus::kRejectedAdmission) so fleet placement policies
+// can re-home a device that keeps being turned away.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ff/util/units.h"
+
+namespace ff::server {
+
+enum class AdmissionPolicy : std::uint8_t {
+  kNone,         ///< admit everything (the legacy single-server behavior)
+  kTokenBucket,  ///< sustained-rate bound with burst headroom
+  kQueueDepth,   ///< reject while the server backlog exceeds a bound
+};
+
+struct AdmissionConfig {
+  AdmissionPolicy policy{AdmissionPolicy::kNone};
+  /// Token refill rate (requests/second) for kTokenBucket.
+  double rate_fps{120.0};
+  /// Bucket capacity in tokens (burst headroom) for kTokenBucket. The
+  /// bucket starts full.
+  double burst{30.0};
+  /// Backlog bound for kQueueDepth: a request arriving while the total
+  /// queue depth is >= this is rejected.
+  std::size_t max_queue_depth{64};
+};
+
+struct AdmissionStats {
+  std::uint64_t admitted{0};
+  std::uint64_t rejected{0};
+};
+
+/// Deterministic admission gate. The token bucket refills lazily on each
+/// admit() call (no scheduled events, so attaching one to a server never
+/// perturbs the event stream), with double-precision fractional carry:
+/// tokens(t) = min(burst, tokens(t0) + (t - t0) * rate).
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Decides one request arriving at `now` with the server's current
+  /// total backlog `queue_depth`. Counts the decision in stats().
+  [[nodiscard]] bool admit(SimTime now, std::size_t queue_depth);
+
+  /// Token balance the bucket would hold at `now` (refill applied, no
+  /// token consumed). Exposed for tests of the refill edges.
+  [[nodiscard]] double tokens_at(SimTime now) const;
+
+  [[nodiscard]] const AdmissionStats& stats() const { return stats_; }
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+  [[nodiscard]] bool enabled() const {
+    return config_.policy != AdmissionPolicy::kNone;
+  }
+
+ private:
+  AdmissionConfig config_;
+  double tokens_;
+  SimTime last_refill_{0};
+  AdmissionStats stats_;
+};
+
+}  // namespace ff::server

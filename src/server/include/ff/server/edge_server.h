@@ -14,6 +14,7 @@
 
 #include "ff/models/latency_model.h"
 #include "ff/obs/trace.h"
+#include "ff/server/admission.h"
 #include "ff/server/request.h"
 #include "ff/sim/simulator.h"
 #include "ff/util/histogram.h"
@@ -31,12 +32,16 @@ struct ServerConfig {
   /// Hard cap on any per-model queue; beyond it requests are rejected on
   /// arrival even with reject_overflow=false (memory guard).
   std::size_t queue_hard_limit{1024};
+  /// Admission gate consulted before queueing (default: admit all, the
+  /// legacy behavior). Rejections surface as kRejectedAdmission.
+  AdmissionConfig admission{};
 };
 
 struct ServerStats {
   std::uint64_t requests_received{0};
   std::uint64_t requests_completed{0};
   std::uint64_t requests_rejected{0};
+  std::uint64_t requests_admission_rejected{0};
   std::uint64_t batches_executed{0};
   StreamingStats batch_size{};
   StreamingStats service_latency_us{};  ///< completed requests only
@@ -68,6 +73,19 @@ class EdgeServer {
 
   [[nodiscard]] bool gpu_busy() const { return gpu_busy_; }
 
+  /// Requests in the batch currently executing on the GPU (0 when idle).
+  /// Together with queue_depth() this closes the server-side conservation
+  /// identity at any instant:
+  ///   received == completed + rejected + admission_rejected
+  ///             + queue_depth + in_flight_batch
+  [[nodiscard]] std::size_t in_flight_batch() const {
+    return in_flight_batch_;
+  }
+
+  [[nodiscard]] const AdmissionController& admission() const {
+    return admission_;
+  }
+
   /// GPU utilization over the sim so far (busy time / elapsed time). An
   /// in-flight batch is credited only for the time it has actually run,
   /// so mid-batch queries never over-report.
@@ -94,6 +112,7 @@ class EdgeServer {
   void start_batch(ModelQueue& queue);
   void finish_batch(std::vector<PendingRequest> batch, SimTime started_at);
   void reject(PendingRequest&& pending);
+  void reject_admission(PendingRequest&& pending);
 
   sim::Simulator& sim_;
   ServerConfig config_;
@@ -104,6 +123,8 @@ class EdgeServer {
   bool gpu_busy_{false};
   SimTime batch_started_at_{0};    ///< valid while gpu_busy_
   SimDuration batch_exec_{0};      ///< scheduled runtime of in-flight batch
+  std::size_t in_flight_batch_{0};  ///< requests in the executing batch
+  AdmissionController admission_;
   ServerStats stats_;
   obs::TraceSink* sink_{nullptr};
 };

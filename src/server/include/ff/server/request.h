@@ -13,6 +13,9 @@ namespace ff::server {
 enum class RequestStatus : std::uint8_t {
   kCompleted,  ///< inference ran; result available
   kRejected,   ///< dropped at batch formation (queue overflow past limit)
+  /// Turned away at the door by the admission controller before
+  /// queueing (token-bucket or queue-depth policy, ff/server/admission.h).
+  kRejectedAdmission,
 };
 
 struct InferenceRequest {

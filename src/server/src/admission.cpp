@@ -1,0 +1,43 @@
+#include "ff/server/admission.h"
+
+#include <algorithm>
+
+namespace ff::server {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config), tokens_(config.burst) {}
+
+double AdmissionController::tokens_at(SimTime now) const {
+  if (now <= last_refill_) return tokens_;
+  const double elapsed =
+      static_cast<double>(now - last_refill_) / static_cast<double>(kSecond);
+  return std::min(config_.burst, tokens_ + elapsed * config_.rate_fps);
+}
+
+bool AdmissionController::admit(SimTime now, std::size_t queue_depth) {
+  bool ok = true;
+  switch (config_.policy) {
+    case AdmissionPolicy::kNone:
+      break;
+    case AdmissionPolicy::kTokenBucket:
+      tokens_ = tokens_at(now);
+      last_refill_ = std::max(last_refill_, now);
+      if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+      } else {
+        ok = false;
+      }
+      break;
+    case AdmissionPolicy::kQueueDepth:
+      ok = queue_depth < config_.max_queue_depth;
+      break;
+  }
+  if (ok) {
+    ++stats_.admitted;
+  } else {
+    ++stats_.rejected;
+  }
+  return ok;
+}
+
+}  // namespace ff::server

@@ -9,7 +9,7 @@
 namespace ff::server {
 
 EdgeServer::EdgeServer(sim::Simulator& sim, ServerConfig config)
-    : sim_(sim), config_(std::move(config)) {}
+    : sim_(sim), config_(std::move(config)), admission_(config_.admission) {}
 
 EdgeServer::ModelQueue& EdgeServer::queue_for(models::ModelId model) {
   for (auto& q : queues_) {
@@ -29,6 +29,11 @@ EdgeServer::ModelQueue& EdgeServer::queue_for(models::ModelId model) {
 void EdgeServer::submit(InferenceRequest request, CompletionFn on_complete) {
   ++stats_.requests_received;
   request.arrived_at = sim_.now();
+  if (admission_.enabled() && !admission_.admit(sim_.now(), queue_depth())) {
+    reject_admission(
+        PendingRequest{std::move(request), std::move(on_complete)});
+    return;
+  }
   ModelQueue& q = queue_for(request.model);
   if (q.pending.size() >= config_.queue_hard_limit) {
     reject(PendingRequest{std::move(request), std::move(on_complete)});
@@ -98,6 +103,7 @@ void EdgeServer::start_batch(ModelQueue& queue) {
   }
 
   const int batch_size = static_cast<int>(batch.size());
+  in_flight_batch_ = batch.size();
   stats_.batch_size.add(batch_size);
   ++stats_.batches_executed;
 
@@ -153,6 +159,7 @@ void EdgeServer::finish_batch(std::vector<PendingRequest> batch,
     if (pending.on_complete) pending.on_complete(outcome);
   }
   gpu_busy_ = false;
+  in_flight_batch_ = 0;
   maybe_start_batch();
 }
 
@@ -165,6 +172,23 @@ void EdgeServer::reject(PendingRequest&& pending) {
   outcome.batch_size = 0;
   if (sink_) {
     sink_->emit(obs::TraceEvent(sim_.now(), obs::ev::kServerReject,
+                                config_.name)
+                    .with_id(outcome.request.request_id)
+                    .with("client",
+                          static_cast<double>(outcome.request.client_id)));
+  }
+  if (pending.on_complete) pending.on_complete(outcome);
+}
+
+void EdgeServer::reject_admission(PendingRequest&& pending) {
+  ++stats_.requests_admission_rejected;
+  RequestOutcome outcome;
+  outcome.request = std::move(pending.request);
+  outcome.status = RequestStatus::kRejectedAdmission;
+  outcome.finished_at = sim_.now();
+  outcome.batch_size = 0;
+  if (sink_) {
+    sink_->emit(obs::TraceEvent(sim_.now(), obs::ev::kServerAdmissionReject,
                                 config_.name)
                     .with_id(outcome.request.request_id)
                     .with("client",

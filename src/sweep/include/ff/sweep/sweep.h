@@ -15,6 +15,7 @@
 #include <functional>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ff/core/experiment.h"
@@ -43,6 +44,19 @@ struct Axis {
 /// fingerprints for every K -- sweeping this axis is the determinism
 /// matrix -- while K = 0 differs in event bookkeeping only.
 [[nodiscard]] Axis partition_axis(std::vector<std::size_t> counts);
+
+/// Axis over fleet size ("M=<n>" labels): replaces Scenario::fleet with a
+/// uniform topology of `count` copies of the scenario's server profile,
+/// each carrying a copy of the scenario's background load. M = 1 is the
+/// degenerate topology, bit-identical to the legacy single-server wiring.
+[[nodiscard]] Axis server_count_axis(std::vector<std::size_t> counts);
+
+/// Axis over placement policies: each value installs a PlacementFactory
+/// into Scenario::fleet.placement (labels name the policy; an empty
+/// factory means the built-in round-robin default). Compose after
+/// server_count_axis -- axes apply in declaration order.
+[[nodiscard]] Axis placement_axis(
+    std::vector<std::pair<std::string, core::PlacementFactory>> policies);
 
 /// A controller under test. Factories are invoked concurrently from pool
 /// workers and must be pure (capture configuration by value, allocate a

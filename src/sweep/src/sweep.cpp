@@ -299,6 +299,40 @@ Axis partition_axis(std::vector<std::size_t> counts) {
   return axis;
 }
 
+Axis server_count_axis(std::vector<std::size_t> counts) {
+  Axis axis;
+  axis.name = "servers";
+  for (const std::size_t m : counts) {
+    axis.values.push_back(AxisValue{
+        "M=" + std::to_string(m), [m](core::Scenario& s) {
+          core::FleetTopology fleet =
+              core::FleetTopology::uniform(s.server, std::max<std::size_t>(
+                                                        m, 1));
+          for (auto& spec : fleet.servers) {
+            spec.background_load = s.background_load;
+            spec.background = s.background;
+          }
+          // Preserve placement/tenancy settings composed by earlier axes.
+          fleet.placement = std::move(s.fleet.placement);
+          fleet.placement_hints = std::move(s.fleet.placement_hints);
+          fleet.tenants = std::move(s.fleet.tenants);
+          s.fleet = std::move(fleet);
+        }});
+  }
+  return axis;
+}
+
+Axis placement_axis(
+    std::vector<std::pair<std::string, core::PlacementFactory>> policies) {
+  Axis axis;
+  axis.name = "placement";
+  for (auto& [label, factory] : policies) {
+    axis.values.push_back(AxisValue{
+        label, [factory](core::Scenario& s) { s.fleet.placement = factory; }});
+  }
+  return axis;
+}
+
 std::uint64_t result_fingerprint(const core::ExperimentResult& result) {
   Fnv64 f;
   f.mix_str(result.scenario);
@@ -316,7 +350,10 @@ std::uint64_t result_fingerprint(const core::ExperimentResult& result) {
     f.mix(d.totals.offload_successes);
     f.mix(d.totals.timeouts_network);
     f.mix(d.totals.timeouts_load);
+    f.mix(d.totals.admission_rejections);
     f.mix(d.totals.in_flight_at_end);
+    f.mix(d.initial_server);
+    f.mix(d.final_server);
     f.mix(d.offload.attempts);
     f.mix(d.offload.successes);
     f.mix(d.offload.timeouts_network);
@@ -345,14 +382,32 @@ std::uint64_t result_fingerprint(const core::ExperimentResult& result) {
       }
     }
   }
-  f.mix(result.server.requests_received);
-  f.mix(result.server.requests_completed);
-  f.mix(result.server.requests_rejected);
-  f.mix(result.server.batches_executed);
-  f.mix_stats(result.server.batch_size);
-  f.mix_stats(result.server.service_latency_us);
-  f.mix(static_cast<std::uint64_t>(result.server.gpu_busy_time));
-  f.mix_double(result.server_gpu_utilization);
+  f.mix(result.servers.size());
+  for (const core::ServerResult& s : result.servers) {
+    f.mix_str(s.name);
+    f.mix(s.stats.requests_received);
+    f.mix(s.stats.requests_completed);
+    f.mix(s.stats.requests_rejected);
+    f.mix(s.stats.requests_admission_rejected);
+    f.mix(s.stats.batches_executed);
+    f.mix_stats(s.stats.batch_size);
+    f.mix_stats(s.stats.service_latency_us);
+    f.mix(static_cast<std::uint64_t>(s.stats.gpu_busy_time));
+    f.mix_double(s.gpu_utilization);
+    f.mix(s.admission.admitted);
+    f.mix(s.admission.rejected);
+    f.mix(s.queue_depth_at_end);
+    f.mix(s.in_flight_batch_at_end);
+  }
+  f.mix(result.tenants.size());
+  for (const core::TenantResult& t : result.tenants) {
+    f.mix_str(t.name);
+    f.mix(t.totals.frames_captured);
+    f.mix(t.totals.offload_successes);
+    f.mix(t.totals.local_completions);
+    f.mix_double(t.mean_throughput_fps);
+    f.mix(t.slo_met() ? 1u : 0u);
+  }
   return f.hash;
 }
 

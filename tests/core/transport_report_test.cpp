@@ -14,14 +14,15 @@ struct Rig {
   sim::Simulator sim{5};
   server::EdgeServer server{sim, {}};
   NetworkedOffloadTransport transport;
-  std::vector<std::pair<std::uint64_t, bool>> responses;
+  std::vector<std::pair<std::uint64_t, device::OffloadReply>> responses;
   std::vector<std::uint64_t> failures;
 
   explicit Rig(NetworkedTransportConfig tc = {})
       : transport(sim, server, std::move(tc)) {
-    transport.set_on_response([this](std::uint64_t id, bool rejected) {
-      responses.emplace_back(id, rejected);
-    });
+    transport.set_on_response(
+        [this](std::uint64_t id, device::OffloadReply reply) {
+          responses.emplace_back(id, reply);
+        });
     transport.set_on_failure(
         [this](std::uint64_t id) { failures.push_back(id); });
   }
@@ -33,7 +34,7 @@ TEST(NetworkedTransport, RoundTripDeliversResponse) {
   rig.sim.run_until(5 * kSecond);
   ASSERT_EQ(rig.responses.size(), 1u);
   EXPECT_EQ(rig.responses[0].first, 7u);
-  EXPECT_FALSE(rig.responses[0].second);
+  EXPECT_EQ(rig.responses[0].second, device::OffloadReply::kCompleted);
   EXPECT_EQ(rig.server.stats().requests_completed, 1u);
 }
 
@@ -55,18 +56,20 @@ TEST(NetworkedTransport, RejectionFlagTravelsBack) {
   sc.batch_limit = 1;
   server::EdgeServer tiny(rig.sim, sc);
   NetworkedOffloadTransport transport(rig.sim, tiny, {});
-  std::vector<bool> rejected_flags;
-  transport.set_on_response([&](std::uint64_t, bool rejected) {
-    rejected_flags.push_back(rejected);
+  std::vector<device::OffloadReply> replies;
+  transport.set_on_response([&](std::uint64_t, device::OffloadReply reply) {
+    replies.push_back(reply);
   });
   for (std::uint64_t i = 0; i < 10; ++i) {
     transport.offload(i, Bytes{20000});
   }
   rig.sim.run_until(30 * kSecond);
   int rejections = 0;
-  for (const bool r : rejected_flags) rejections += r ? 1 : 0;
+  for (const device::OffloadReply r : replies) {
+    rejections += device::is_rejection(r) ? 1 : 0;
+  }
   EXPECT_GT(rejections, 0);
-  EXPECT_EQ(rejected_flags.size(), 10u);
+  EXPECT_EQ(replies.size(), 10u);
 }
 
 TEST(NetworkedTransport, DeadLinkReportsFailure) {

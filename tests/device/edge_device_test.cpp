@@ -14,7 +14,7 @@ class EchoTransport final : public OffloadTransport {
   void offload(std::uint64_t id, Bytes) override {
     ++offloads_;
     (void)sim_.schedule_in(delay_, [this, id] {
-      if (on_response_) on_response_(id, false);
+      if (on_response_) on_response_(id, OffloadReply::kCompleted);
     });
   }
   void cancel(std::uint64_t) override {}

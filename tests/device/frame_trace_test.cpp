@@ -80,7 +80,7 @@ class EchoTransport final : public OffloadTransport {
       : sim_(sim), delay_(delay) {}
   void offload(std::uint64_t id, Bytes) override {
     (void)sim_.schedule_in(delay_, [this, id] {
-      if (on_response_) on_response_(id, false);
+      if (on_response_) on_response_(id, OffloadReply::kCompleted);
     });
   }
   void cancel(std::uint64_t) override {}

@@ -23,8 +23,8 @@ class FakeTransport final : public OffloadTransport {
       (void)sim_.schedule_in(s.delay, [this, id] { on_failure_(id); });
     } else {
       (void)sim_.schedule_in(s.delay,
-                             [this, id, rejected = s.rejected] {
-                               on_response_(id, rejected);
+                             [this, id, reply = s.reply] {
+                               on_response_(id, reply);
                              });
     }
   }
@@ -35,7 +35,7 @@ class FakeTransport final : public OffloadTransport {
 
   struct Script {
     SimDuration delay{0};
-    bool rejected{false};
+    OffloadReply reply{OffloadReply::kCompleted};
     bool fail{false};
   };
 
@@ -61,7 +61,8 @@ struct Rig {
 
 TEST(OffloadClient, ResponseWithinDeadlineIsSuccess) {
   Rig rig;
-  rig.transport.script(1, {100 * kMillisecond, false, false});
+  rig.transport.script(
+      1, {100 * kMillisecond, OffloadReply::kCompleted, false});
   rig.client.offload_frame(1, 0, Bytes{1000});
   rig.sim.run();
   EXPECT_EQ(rig.client.stats().successes, 1u);
@@ -72,7 +73,8 @@ TEST(OffloadClient, ResponseWithinDeadlineIsSuccess) {
 
 TEST(OffloadClient, LatencyMeasuredFromCapture) {
   Rig rig;
-  rig.transport.script(1, {100 * kMillisecond, false, false});
+  rig.transport.script(
+      1, {100 * kMillisecond, OffloadReply::kCompleted, false});
   // Frame captured at t=0 but offloaded at t=100ms (encode etc.).
   (void)rig.sim.schedule_at(100 * kMillisecond, [&] {
     rig.client.offload_frame(1, 0, Bytes{1000});
@@ -97,7 +99,8 @@ TEST(OffloadClient, NoResponseTimesOutAtDeadline) {
 
 TEST(OffloadClient, LateResponseCountsOnceAsTimeout) {
   Rig rig;
-  rig.transport.script(1, {400 * kMillisecond, false, false});
+  rig.transport.script(
+      1, {400 * kMillisecond, OffloadReply::kCompleted, false});
   rig.client.offload_frame(1, 0, Bytes{1000});
   rig.sim.run();
   EXPECT_EQ(rig.client.stats().timeouts_network, 1u);
@@ -108,7 +111,8 @@ TEST(OffloadClient, LateResponseCountsOnceAsTimeout) {
 
 TEST(OffloadClient, RejectionIsLoadTimeout) {
   Rig rig;
-  rig.transport.script(1, {50 * kMillisecond, true, false});
+  rig.transport.script(
+      1, {50 * kMillisecond, OffloadReply::kRejectedLoad, false});
   rig.client.offload_frame(1, 0, Bytes{1000});
   rig.sim.run();
   EXPECT_EQ(rig.client.stats().timeouts_load, 1u);
@@ -118,7 +122,7 @@ TEST(OffloadClient, RejectionIsLoadTimeout) {
 
 TEST(OffloadClient, TransportFailureIsNetworkTimeout) {
   Rig rig;
-  rig.transport.script(1, {50 * kMillisecond, false, true});
+  rig.transport.script(1, {50 * kMillisecond, OffloadReply::kCompleted, true});
   rig.client.offload_frame(1, 0, Bytes{1000});
   rig.sim.run();
   EXPECT_EQ(rig.client.stats().timeouts_network, 1u);
@@ -128,8 +132,9 @@ TEST(OffloadClient, TransportFailureIsNetworkTimeout) {
 
 TEST(OffloadClient, PipelinedFramesTrackedIndependently) {
   Rig rig;
-  rig.transport.script(1, {100 * kMillisecond, false, false});
-  rig.transport.script(2, {0, false, true});
+  rig.transport.script(
+      1, {100 * kMillisecond, OffloadReply::kCompleted, false});
+  rig.transport.script(2, {0, OffloadReply::kCompleted, true});
   // 3 stays silent -> deadline timeout.
   rig.client.offload_frame(1, 0, Bytes{1000});
   rig.client.offload_frame(2, 0, Bytes{1000});
@@ -142,7 +147,8 @@ TEST(OffloadClient, PipelinedFramesTrackedIndependently) {
 
 TEST(OffloadClient, ProbeSuccessCallback) {
   Rig rig;
-  rig.transport.script(100, {50 * kMillisecond, false, false});
+  rig.transport.script(
+      100, {50 * kMillisecond, OffloadReply::kCompleted, false});
   std::optional<bool> result;
   rig.client.send_probe(100, Bytes{1000}, [&](bool ok) { result = ok; });
   rig.sim.run();
@@ -167,7 +173,8 @@ TEST(OffloadClient, ProbeTimeoutReportsFalse) {
 
 TEST(OffloadClient, ProbeRejectionReportsFalse) {
   Rig rig;
-  rig.transport.script(100, {10 * kMillisecond, true, false});
+  rig.transport.script(
+      100, {10 * kMillisecond, OffloadReply::kRejectedLoad, false});
   std::optional<bool> result;
   rig.client.send_probe(100, Bytes{1000}, [&](bool ok) { result = ok; });
   rig.sim.run();
@@ -177,7 +184,8 @@ TEST(OffloadClient, ProbeRejectionReportsFalse) {
 
 TEST(OffloadClient, ProbeTransportFailureReportsFalse) {
   Rig rig;
-  rig.transport.script(100, {10 * kMillisecond, false, true});
+  rig.transport.script(
+      100, {10 * kMillisecond, OffloadReply::kCompleted, true});
   std::optional<bool> result;
   rig.client.send_probe(100, Bytes{1000}, [&](bool ok) { result = ok; });
   rig.sim.run();
@@ -187,7 +195,8 @@ TEST(OffloadClient, ProbeTransportFailureReportsFalse) {
 
 TEST(OffloadClient, UnknownResponseIgnored) {
   Rig rig;
-  rig.transport.script(999, {10 * kMillisecond, false, false});
+  rig.transport.script(
+      999, {10 * kMillisecond, OffloadReply::kCompleted, false});
   rig.client.offload_frame(1, 0, Bytes{1000});
   // A response for a frame we never sent must not crash or count.
   rig.transport.offload(999, Bytes{0});
@@ -201,7 +210,8 @@ TEST(OffloadClient, ExactDeadlineTieIsViolation) {
   // Response scheduled at exactly the deadline instant: the deadline event
   // was scheduled first, so it wins the tie -- "before its deadline" is
   // strict.
-  rig.transport.script(1, {250 * kMillisecond, false, false});
+  rig.transport.script(
+      1, {250 * kMillisecond, OffloadReply::kCompleted, false});
   rig.client.offload_frame(1, 0, Bytes{1000});
   rig.sim.run();
   EXPECT_EQ(rig.client.stats().timeouts_network, 1u);

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "ff/server/admission.h"
+
+namespace ff::server {
+namespace {
+
+AdmissionConfig token_bucket(double rate_fps, double burst) {
+  AdmissionConfig c;
+  c.policy = AdmissionPolicy::kTokenBucket;
+  c.rate_fps = rate_fps;
+  c.burst = burst;
+  return c;
+}
+
+TEST(Admission, NonePolicyAdmitsEverything) {
+  AdmissionController a(AdmissionConfig{});
+  EXPECT_FALSE(a.enabled());
+  EXPECT_TRUE(a.admit(0, 0));
+  EXPECT_TRUE(a.admit(0, 1'000'000));
+  EXPECT_EQ(a.stats().admitted, 2u);
+  EXPECT_EQ(a.stats().rejected, 0u);
+}
+
+TEST(Admission, BucketStartsFullAndDrainsOneTokenPerRequest) {
+  AdmissionController a(token_bucket(10.0, 3.0));
+  EXPECT_TRUE(a.enabled());
+  EXPECT_DOUBLE_EQ(a.tokens_at(0), 3.0);
+  EXPECT_TRUE(a.admit(0, 0));
+  EXPECT_TRUE(a.admit(0, 0));
+  EXPECT_TRUE(a.admit(0, 0));
+  // Bucket empty: the fourth request at the same instant is turned away.
+  EXPECT_FALSE(a.admit(0, 0));
+  EXPECT_EQ(a.stats().admitted, 3u);
+  EXPECT_EQ(a.stats().rejected, 1u);
+}
+
+TEST(Admission, LazyRefillAccruesFractionalTokens) {
+  AdmissionController a(token_bucket(10.0, 2.0));
+  EXPECT_TRUE(a.admit(0, 0));
+  EXPECT_TRUE(a.admit(0, 0));
+  // 10 tokens/s: after 50 ms only half a token has accrued.
+  EXPECT_DOUBLE_EQ(a.tokens_at(kSecond / 20), 0.5);
+  EXPECT_FALSE(a.admit(kSecond / 20, 0));
+  // The failed admit still refilled to 0.5; 50 ms later the balance
+  // crosses 1.0 and the next request goes through.
+  EXPECT_DOUBLE_EQ(a.tokens_at(kSecond / 10), 1.0);
+  EXPECT_TRUE(a.admit(kSecond / 10, 0));
+}
+
+TEST(Admission, RefillSaturatesAtBurst) {
+  AdmissionController a(token_bucket(100.0, 5.0));
+  EXPECT_TRUE(a.admit(0, 0));
+  // An hour of idle refills to the cap, not beyond it.
+  EXPECT_DOUBLE_EQ(a.tokens_at(3600 * kSecond), 5.0);
+}
+
+TEST(Admission, RefillIsMonotonicInTime) {
+  AdmissionController a(token_bucket(10.0, 2.0));
+  EXPECT_TRUE(a.admit(kSecond, 0));
+  // Queries earlier than the last refill never un-spend tokens.
+  EXPECT_DOUBLE_EQ(a.tokens_at(0), a.tokens_at(kSecond));
+}
+
+TEST(Admission, SustainedRateIsBoundedByRefillRate) {
+  // Offered 100 req/s against a 20/s bucket for 2 s: everything beyond
+  // burst + rate * time must be rejected.
+  AdmissionController a(token_bucket(20.0, 10.0));
+  std::uint64_t admitted = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.admit(i * (kSecond / 100), 0)) ++admitted;
+  }
+  EXPECT_LE(admitted, 10u + 40u + 1u);
+  EXPECT_GE(admitted, 40u);
+  EXPECT_EQ(admitted + a.stats().rejected, 200u);
+}
+
+TEST(Admission, QueueDepthGateRejectsWhileBacklogged) {
+  AdmissionConfig c;
+  c.policy = AdmissionPolicy::kQueueDepth;
+  c.max_queue_depth = 4;
+  AdmissionController a(c);
+  EXPECT_TRUE(a.admit(0, 0));
+  EXPECT_TRUE(a.admit(0, 3));
+  EXPECT_FALSE(a.admit(0, 4));
+  EXPECT_FALSE(a.admit(0, 100));
+  // The gate is memoryless: a drained queue admits again immediately.
+  EXPECT_TRUE(a.admit(kSecond, 1));
+  EXPECT_EQ(a.stats().admitted, 3u);
+  EXPECT_EQ(a.stats().rejected, 2u);
+}
+
+}  // namespace
+}  // namespace ff::server

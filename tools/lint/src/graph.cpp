@@ -103,12 +103,15 @@ const std::map<std::string, std::set<std::string>>& layering() {
       {"core",
        {"device", "server", "net", "control", "models", "sim", "rt", "obs",
         "util"}},
+      {"fleet",
+       {"core", "device", "server", "net", "control", "models", "sim", "rt",
+        "obs", "util"}},
       {"sweep",
        {"core", "device", "server", "net", "control", "models", "sim", "rt",
         "obs", "util"}},
       {"invariants",
-       {"sweep", "core", "device", "server", "net", "control", "models",
-        "sim", "rt", "obs", "util"}},
+       {"fleet", "sweep", "core", "device", "server", "net", "control",
+        "models", "sim", "rt", "obs", "util"}},
   };
   return kLayers;
 }

@@ -222,7 +222,8 @@ bool in_dirs(const std::string& rel, const std::vector<std::string>& dirs) {
 const std::vector<std::string>& deterministic_dirs() {
   static const std::vector<std::string> kDirs = {
       "src/sim",    "src/net",   "src/control", "src/core",  "src/device",
-      "src/server", "src/rt",    "src/sweep",   "src/invariants"};
+      "src/server", "src/rt",    "src/sweep",   "src/invariants",
+      "src/fleet"};
   return kDirs;
 }
 
