@@ -90,7 +90,10 @@ struct TenantResult {
   std::string name;
   device::TelemetryTotals totals{};
   double mean_throughput_fps{0.0};  ///< summed member mean P
-  double min_goodput{0.0};          ///< SLO from the TenantSloSpec
+  /// SLO thresholds echoed from the TenantSloSpec for slo_met().
+  // ff-lint: allow(fingerprint-exempt) config echo, not measured output
+  double min_goodput{0.0};
+  // ff-lint: allow(fingerprint-exempt) config echo, not measured output
   double min_throughput_fps{0.0};
 
   [[nodiscard]] double goodput_fraction() const {
@@ -117,6 +120,8 @@ struct ExperimentResult {
   /// Legacy single-server view: servers[0], kept so existing callers and
   /// figures read unchanged.
   server::ServerStats server{};
+  // ff-lint: allow(fingerprint-exempt) legacy mirror of servers[0],
+  // which is already mixed in via ServerResult.
   double server_gpu_utilization{0.0};
 
   /// Aggregate mean throughput across devices.

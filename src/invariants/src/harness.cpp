@@ -1,6 +1,6 @@
 #include "ff/invariants/harness.h"
 
-#include <chrono>  // ff-lint: allow(wall-clock) event-cost probe
+#include <chrono>
 #include <filesystem>
 #include <utility>
 

@@ -255,7 +255,7 @@ std::string ScenarioReport::failed_names() const {
   return out;
 }
 
-std::vector<InvariantCheck> evaluate_invariants(
+[[nodiscard]] std::vector<InvariantCheck> evaluate_invariants(
     const DisturbanceScenario& scenario, const core::ExperimentResult& result,
     const InvariantThresholds& thresholds, double event_cost_p99_us) {
   std::vector<InvariantCheck> checks;

@@ -360,6 +360,8 @@ std::uint64_t result_fingerprint(const core::ExperimentResult& result) {
     f.mix(d.offload.timeouts_load);
     f.mix(d.offload.late_responses);
     f.mix(d.offload.probes_sent);
+    f.mix(d.offload.probes_ok);
+    f.mix(d.offload.probes_failed);
     f.mix_stats(d.offload.latency_us);
     f.mix(d.uplink.messages_sent);
     f.mix(d.uplink.sends_succeeded);

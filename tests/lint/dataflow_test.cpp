@@ -1,0 +1,260 @@
+// container-invalidation dataflow tests: reference/pointer/iterator
+// bindings into growable containers, mutation taint, the exemptions
+// (reserve-preceded growth, deque push stability, rebinding), and the
+// scope limits that keep the rule quiet outside src/ and tools/lint/.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ff/lint/driver.h"
+
+namespace ff::lint {
+namespace {
+
+using FileRule = std::pair<std::string, std::string>;
+
+std::set<FileRule> rules_of(const LintResult& r) {
+  std::set<FileRule> out;
+  for (const Finding& f : r.findings) out.insert({f.file, f.rule});
+  return out;
+}
+
+LintResult lint_one(const std::string& rel, const std::string& content) {
+  return lint_files({{rel, content}});
+}
+
+TEST(Dataflow, ReferenceUsedAfterPushBack) {
+  const auto r = lint_one("src/core/src/x.cpp",
+                          "#include <vector>\n"
+                          "int f() {\n"
+                          "  std::vector<int> v;\n"
+                          "  v.push_back(1);\n"
+                          "  const int& tail = v.back();\n"
+                          "  v.push_back(2);\n"
+                          "  return tail;\n"
+                          "}\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "container-invalidation");
+  EXPECT_NE(r.findings[0].message.find("tail"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("push_back"), std::string::npos);
+}
+
+TEST(Dataflow, PointerAndIteratorBindingsAreTracked) {
+  EXPECT_EQ(rules_of(lint_one("src/core/src/x.cpp",
+                              "#include <vector>\n"
+                              "int f() {\n"
+                              "  std::vector<int> v;\n"
+                              "  const int* p = v.data();\n"
+                              "  v.resize(32);\n"
+                              "  return *p;\n"
+                              "}\n")),
+            (std::set<FileRule>{
+                {"src/core/src/x.cpp", "container-invalidation"}}));
+  EXPECT_EQ(rules_of(lint_one("src/core/src/y.cpp",
+                              "#include <vector>\n"
+                              "int g() {\n"
+                              "  std::vector<int> v;\n"
+                              "  auto it = v.begin();\n"
+                              "  v.push_back(1);\n"
+                              "  return *it;\n"
+                              "}\n")),
+            (std::set<FileRule>{
+                {"src/core/src/y.cpp", "container-invalidation"}}));
+}
+
+TEST(Dataflow, ReserveBeforeBindingExemptsPushGrowth) {
+  EXPECT_TRUE(lint_one("src/core/src/x.cpp",
+                       "#include <vector>\n"
+                       "int f() {\n"
+                       "  std::vector<int> v;\n"
+                       "  v.reserve(8);\n"
+                       "  const int& first = v.front();\n"
+                       "  v.push_back(1);\n"
+                       "  return first;\n"
+                       "}\n")
+                  .findings.empty());
+  // reserve() after the binding is itself a reallocation hazard.
+  EXPECT_FALSE(lint_one("src/core/src/y.cpp",
+                        "#include <vector>\n"
+                        "int g() {\n"
+                        "  std::vector<int> v;\n"
+                        "  const int& first = v.front();\n"
+                        "  v.reserve(64);\n"
+                        "  return first;\n"
+                        "}\n")
+                   .findings.empty());
+}
+
+TEST(Dataflow, DequePushKeepsReferencesButNotIterators) {
+  EXPECT_TRUE(lint_one("src/core/src/x.cpp",
+                       "#include <deque>\n"
+                       "int f() {\n"
+                       "  std::deque<int> d;\n"
+                       "  d.push_back(1);\n"
+                       "  const int& head = d.front();\n"
+                       "  d.push_back(2);\n"
+                       "  return head;\n"
+                       "}\n")
+                  .findings.empty());
+  EXPECT_FALSE(lint_one("src/core/src/y.cpp",
+                        "#include <deque>\n"
+                        "int g() {\n"
+                        "  std::deque<int> d;\n"
+                        "  d.push_back(1);\n"
+                        "  auto it = d.begin();\n"
+                        "  d.push_back(2);\n"
+                        "  return *it;\n"
+                        "}\n")
+                   .findings.empty());
+}
+
+TEST(Dataflow, RetakenBindingAfterMutationIsClean) {
+  // Rebinding through assignment clears the taint: this is the repair
+  // the finding message recommends.
+  EXPECT_TRUE(lint_one("src/core/src/x.cpp",
+                       "#include <vector>\n"
+                       "int f() {\n"
+                       "  std::vector<int> v;\n"
+                       "  v.push_back(1);\n"
+                       "  const int* p = v.data();\n"
+                       "  v.push_back(2);\n"
+                       "  p = v.data();\n"
+                       "  return *p;\n"
+                       "}\n")
+                  .findings.empty());
+  EXPECT_TRUE(lint_one("src/core/src/y.cpp",
+                       "#include <vector>\n"
+                       "int g() {\n"
+                       "  std::vector<int> v;\n"
+                       "  auto it = v.begin();\n"
+                       "  v.push_back(1);\n"
+                       "  it = v.begin();\n"
+                       "  return *it;\n"
+                       "}\n")
+                  .findings.empty());
+}
+
+TEST(Dataflow, LoopThatMutatesThenReindexesIsClean) {
+  // Each iteration re-takes the reference after the mutation; no
+  // binding is live across a push.
+  EXPECT_TRUE(lint_one("src/core/src/x.cpp",
+                       "#include <vector>\n"
+                       "int f() {\n"
+                       "  std::vector<int> v;\n"
+                       "  int sum = 0;\n"
+                       "  for (int i = 0; i < 4; ++i) {\n"
+                       "    v.push_back(i);\n"
+                       "    const int& cur = v.back();\n"
+                       "    sum += cur;\n"
+                       "  }\n"
+                       "  return sum + v[0];\n"
+                       "}\n")
+                  .findings.empty());
+}
+
+TEST(Dataflow, MemberContainerMutatedThroughThis) {
+  const auto r = lint_one("src/core/src/x.cpp",
+                          "#include <vector>\n"
+                          "struct Buf {\n"
+                          "  int grow();\n"
+                          "  std::vector<int> data_;\n"
+                          "};\n"
+                          "int Buf::grow() {\n"
+                          "  data_.push_back(1);\n"
+                          "  const int& head = data_.front();\n"
+                          "  this->data_.push_back(2);\n"
+                          "  return head;\n"
+                          "}\n");
+  EXPECT_EQ(rules_of(r), (std::set<FileRule>{
+                             {"src/core/src/x.cpp",
+                              "container-invalidation"}}));
+}
+
+TEST(Dataflow, MemberContainerDeclaredInHeader) {
+  // The member is declared in the class body in a header; the method in
+  // the .cpp sees it through the tree's cross-file declaration index.
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"src/core/include/ff/core/buf.h",
+       "#pragma once\n#include <vector>\n"
+       "struct Buf {\n"
+       "  int grow();\n"
+       "  std::vector<int> data_;\n"
+       "};\n"},
+      {"src/core/src/buf.cpp",
+       "#include \"ff/core/buf.h\"\n"
+       "int Buf::grow() {\n"
+       "  const int& head = data_.front();\n"
+       "  data_.push_back(2);\n"
+       "  return head;\n"
+       "}\n"},
+  };
+  EXPECT_EQ(rules_of(lint_files(files)),
+            (std::set<FileRule>{
+                {"src/core/src/buf.cpp", "container-invalidation"}}));
+}
+
+TEST(Dataflow, LambdaRefCaptureUsedAfterMutation) {
+  const auto r = lint_one("src/core/src/x.cpp",
+                          "#include <vector>\n"
+                          "int f() {\n"
+                          "  std::vector<int> v;\n"
+                          "  v.push_back(1);\n"
+                          "  const int& r = v.front();\n"
+                          "  v.push_back(2);\n"
+                          "  auto read = [&] { return r; };\n"
+                          "  return read();\n"
+                          "}\n");
+  EXPECT_EQ(rules_of(r), (std::set<FileRule>{
+                             {"src/core/src/x.cpp",
+                              "container-invalidation"}}));
+}
+
+TEST(Dataflow, StringPointerInvalidatedByAppend) {
+  EXPECT_EQ(rules_of(lint_one("src/net/src/x.cpp",
+                              "#include <string>\n"
+                              "char head(std::string s) {\n"
+                              "  std::string buf;\n"
+                              "  const char* p = buf.c_str();\n"
+                              "  buf.append(s);\n"
+                              "  return *p;\n"
+                              "}\n")),
+            (std::set<FileRule>{
+                {"src/net/src/x.cpp", "container-invalidation"}}));
+}
+
+TEST(Dataflow, AllowDirectiveSuppressesAndStaysLoadBearing) {
+  // The directive suppresses the finding -- and because it suppresses
+  // something, stale-allow stays quiet too.
+  EXPECT_TRUE(lint_one("src/core/src/x.cpp",
+                       "#include <vector>\n"
+                       "int f() {\n"
+                       "  std::vector<int> v;\n"
+                       "  v.push_back(1);\n"
+                       "  const int& tail = v.back();\n"
+                       "  v.push_back(2);\n"
+                       "  // ff-lint: allow(container-invalidation)"
+                       " capacity pinned by caller\n"
+                       "  return tail;\n"
+                       "}\n")
+                  .findings.empty());
+}
+
+TEST(Dataflow, OutsideScopedDirsIsIgnored) {
+  EXPECT_TRUE(lint_one("bench/x.cpp",
+                       "#include <vector>\n"
+                       "int f() {\n"
+                       "  std::vector<int> v;\n"
+                       "  v.push_back(1);\n"
+                       "  const int& tail = v.back();\n"
+                       "  v.push_back(2);\n"
+                       "  return tail;\n"
+                       "}\n")
+                  .findings.empty());
+}
+
+}  // namespace
+}  // namespace ff::lint

@@ -1,0 +1,18 @@
+// Clean container patterns: reserve-preceded growth, deque push
+// stability, and references re-taken after the mutation.
+#include <deque>
+#include <vector>
+
+int stable_sum() {
+  std::vector<int> v;
+  v.reserve(4);
+  v.push_back(1);
+  const int& first = v.front();
+  v.push_back(2);
+  std::deque<int> d;
+  d.push_back(3);
+  const int& head = d.front();
+  d.push_back(4);
+  const int& fresh = v.back();
+  return first + head + fresh;
+}

@@ -1,0 +1,17 @@
+// Clean nodiscard patterns: annotated declarations, consumed results,
+// an explicit (void) discard, and a void-returning overload of a
+// curated name.
+struct RetryQueue {
+  [[nodiscard]] bool try_take(int* out);
+};
+
+struct Log {
+  void submit(int entry);
+};
+
+void pump(RetryQueue& q, Log& log) {
+  int v = 0;
+  if (q.try_take(&v)) log.submit(v);
+  (void)q.try_take(&v);
+  log.submit(0);
+}

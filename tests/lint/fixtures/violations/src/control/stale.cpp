@@ -1,0 +1,6 @@
+// stale-allow: the directive names a rule that produces no finding on
+// this statement, so it suppresses nothing.
+int doubled(int x) {
+  // ff-lint: allow(wall-clock) measured pacing (long since removed).
+  return x * 2;
+}

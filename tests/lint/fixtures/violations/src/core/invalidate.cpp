@@ -1,0 +1,11 @@
+// container-invalidation: the reference is bound before the growing
+// push_back and used after it, with no reserve() in sight.
+#include <vector>
+
+int last_after_grow() {
+  std::vector<int> samples;
+  samples.push_back(1);
+  const int& tail = samples.back();
+  samples.push_back(2);
+  return tail;
+}

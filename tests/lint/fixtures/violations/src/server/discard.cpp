@@ -1,0 +1,9 @@
+// nodiscard-contract: the try_enqueue result is dropped on the floor in
+// expression-statement position.
+struct WorkQueue {
+  [[nodiscard]] bool try_enqueue(int job);
+};
+
+void feed(WorkQueue& q) {
+  q.try_enqueue(7);
+}

@@ -1,0 +1,16 @@
+// fingerprint-completeness: mean_latency_ms is a numeric result field
+// but never reaches result_fingerprint (and has no exemption).
+#include <cstdint>
+
+struct TelemetryTotals {
+  uint64_t frames_offered = 0;
+  uint64_t frames_completed = 0;
+  double mean_latency_ms = 0.0;
+};
+
+uint64_t result_fingerprint(const TelemetryTotals& t) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  h ^= t.frames_offered;
+  h ^= t.frames_completed;
+  return h;
+}

@@ -390,15 +390,19 @@ TEST(Fixtures, ViolationTreeFindsExactlyTheSeededRules) {
   const std::set<FileRule> expected = {
       {"bench/reach_wall.cpp", "determinism-reachability"},
       {"src/control/include/ff/control/parity.h", "annotation-parity"},
+      {"src/control/stale.cpp", "stale-allow"},
       {"src/core/include/ff/core/untidy.h", "header-hygiene"},
+      {"src/core/invalidate.cpp", "container-invalidation"},
       {"src/device/src/peers.cpp", "unordered-iteration"},
       {"src/net/entropy.cpp", "ambient-entropy"},
       {"src/net/include/ff/net/loop_b.h", "include-cycle"},
       {"src/rt/order_cycle.cpp", "lock-order"},
+      {"src/server/discard.cpp", "nodiscard-contract"},
       {"src/server/ptr_key.cpp", "unordered-pointer-key"},
       {"src/sim/alloc.cpp", "raw-allocation"},
       {"src/sim/macro_wall.cpp", "ambient-entropy"},
       {"src/sim/wall_clock.cpp", "wall-clock"},
+      {"src/sweep/fingerprint_gap.cpp", "fingerprint-completeness"},
       {"src/util/include/ff/util/guard_gap.h", "unguarded-shared-state"},
       {"src/util/src/layer_up.cpp", "layering"},
   };
@@ -409,7 +413,7 @@ TEST(Fixtures, CleanTreeIsClean) {
   const LintResult r = lint_tree(std::string(FF_LINT_FIXTURES) + "/clean");
   EXPECT_TRUE(r.findings.empty())
       << r.findings.front().file << ": " << r.findings.front().message;
-  EXPECT_EQ(r.files_scanned, 9u);
+  EXPECT_EQ(r.files_scanned, 12u);
 }
 
 // The annotated production tree is lint-clean, and not vacuously so:
@@ -499,6 +503,45 @@ TEST(Cli, JsonOutputOnCleanTreeIsEmpty) {
   std::ostringstream ss;
   ss << in.rdbuf();
   EXPECT_NE(ss.str().find("\"findings\":[]"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, SarifOutputListsRulesAndResults) {
+  const std::string path = testing::TempDir() + "ff_lint_findings.sarif";
+  EXPECT_EQ(run_cli("--root " + std::string(FF_LINT_FIXTURES) +
+                    "/violations --sarif=" + path),
+            1);
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string sarif = ss.str();
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"ff-lint\""), std::string::npos);
+  // Rule metadata covers the whole registry, not just fired rules.
+  for (const std::string& rule : rule_registry()) {
+    EXPECT_NE(sarif.find("{\"id\":\"" + rule + "\"}"), std::string::npos)
+        << rule;
+  }
+  EXPECT_NE(sarif.find("\"ruleId\":\"lock-order\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"container-invalidation\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\":\"src/core/invalidate.cpp\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, SarifOutputOnCleanTreeHasNoResults) {
+  const std::string path = testing::TempDir() + "ff_lint_clean.sarif";
+  EXPECT_EQ(run_cli("--root " + std::string(FF_LINT_FIXTURES) +
+                    "/clean --sarif=" + path),
+            0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"results\":[]"), std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -51,7 +51,9 @@ struct FunctionDef {
 [[nodiscard]] std::vector<FunctionDef> index_functions(const SourceTree& tree);
 
 /// Runs the determinism-reachability rule over the whole tree. allow()
-/// directives are already applied.
-[[nodiscard]] std::vector<Finding> check_reachability(const SourceTree& tree);
+/// directives are already applied; findings they dropped are appended
+/// to `suppressed` (when non-null) for the stale-allow rule.
+[[nodiscard]] std::vector<Finding> check_reachability(
+    const SourceTree& tree, std::vector<Finding>* suppressed = nullptr);
 
 }  // namespace ff::lint

@@ -38,6 +38,8 @@ struct MemberDecl {
   int line{1};
   bool guarded{false};  ///< carries FF_GUARDED_BY / FF_PT_GUARDED_BY
   bool exempt{false};   ///< primitive, atomic, const, static, reference
+  bool numeric{false};  ///< arithmetic type (incl. SimTime/SimDuration)
+  bool counter{false};  ///< unsigned-integer type (conservation counter)
 };
 
 /// One FF_ACQUIRE / FF_RELEASE annotation on a method declaration.
@@ -66,7 +68,10 @@ struct ClassInfo {
 [[nodiscard]] std::vector<ClassInfo> parse_classes(const SourceFile& file);
 
 /// Runs unguarded-shared-state, lock-order and annotation-parity over
-/// the whole tree. allow() directives are already applied.
-[[nodiscard]] std::vector<Finding> check_concurrency(const SourceTree& tree);
+/// the whole tree. allow() directives are already applied; findings
+/// they dropped are appended to `suppressed` (when non-null) for the
+/// stale-allow rule.
+[[nodiscard]] std::vector<Finding> check_concurrency(
+    const SourceTree& tree, std::vector<Finding>* suppressed = nullptr);
 
 }  // namespace ff::lint

@@ -1,0 +1,58 @@
+#pragma once
+
+// Repo-contract rules for ff-lint: checks whose ground truth is this
+// repository's own result-accounting conventions rather than general
+// C++ hygiene.
+//
+//   fingerprint-completeness
+//     Every numeric field of the aggregate result structs
+//     (TelemetryTotals, DeviceResult, ServerResult, TenantResult,
+//     ExperimentResult and the per-subsystem stats structs) must be
+//     mixed into `sweep::result_fingerprint` or participate in the
+//     inline conservation identities (TelemetryTotals::accounted/
+//     conserved, ServerResult::conserved). A field that exists but is
+//     never accounted is exactly the PR 6 `in_flight_at_end` bug class:
+//     sweeps silently stop distinguishing runs that differ in it.
+//     Escape hatch: a fingerprint-exempt allow() directive on the
+//     field; the rationale text is mandatory.
+//
+//   nodiscard-contract
+//     Every status-returning API in src/ (and tools/lint/) named
+//     `try_*`, `submit`, `place`, `admit` or `evaluate_*` must be
+//     declared [[nodiscard]], and a call to one of them whose result is
+//     discarded (expression-statement position) is a finding unless a
+//     visible same-name overload returns void. Cast to (void) to
+//     discard deliberately.
+//
+// Both rules are inert when their anchors are absent from the scanned
+// tree (no result_fingerprint definition, no curated structs), so
+// fixture trees for other rules stay clean.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ff/lint/rules.h"
+#include "ff/lint/tree.h"
+
+namespace ff::lint {
+
+/// Result-aggregate structs the fingerprint rule audits (exposed for
+/// tests and the self-test).
+[[nodiscard]] const std::set<std::string>& fingerprint_structs();
+
+/// True for API names the nodiscard-contract rule curates.
+[[nodiscard]] bool nodiscard_api_name(const std::string& name);
+
+/// Runs fingerprint-completeness over the whole tree. allow()
+/// directives are already applied; exemption uses and suppressed
+/// findings are appended to `suppressed` (when non-null).
+[[nodiscard]] std::vector<Finding> check_fingerprint_completeness(
+    const SourceTree& tree, std::vector<Finding>* suppressed = nullptr);
+
+/// Runs nodiscard-contract (declaration discipline + discarded calls)
+/// over the whole tree; same suppression contract.
+[[nodiscard]] std::vector<Finding> check_nodiscard(
+    const SourceTree& tree, std::vector<Finding>* suppressed = nullptr);
+
+}  // namespace ff::lint

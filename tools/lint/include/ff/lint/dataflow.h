@@ -1,0 +1,43 @@
+#pragma once
+
+// Statement-level dataflow for ff-lint: the container-invalidation
+// rule. Within each function body (located by the call-graph function
+// index) the rule tracks bindings into growable containers --
+// references (`auto& r = v.back()`), pointers (`auto* p = v.data()`,
+// `T* p = &v[i]`), iterators (`auto it = v.begin()`), and range-for
+// reference loop variables -- and flags any use of a binding after a
+// mutating call (push_back/emplace_back/resize/erase/clear/insert/...)
+// on the same container, which may have moved the element storage the
+// binding points into. This is the mechanized form of the PR 1
+// `EdgeServer::queues_` dangling-reference bug.
+//
+// The analysis is forward-linear over the token stream with
+// brace-depth scoping: bindings die when their scope closes, re-taking
+// a binding after the mutation clears its taint, and loop-back edges
+// are not followed (a loop that mutates and then re-indexes through
+// the container directly is clean by construction). Exemptions:
+//   - deque: references and pointers survive push/emplace at either
+//     end (iterators still do not);
+//   - vector: a reserve() call sequenced before the binding was taken
+//     exempts later push_back/emplace_back growth;
+//   - a container-invalidation allow() directive with a reason.
+//
+// Container declarations come from the tree's vector/string/deque
+// declaration index, which spans the transitive ff-include closure, so
+// class members declared in headers are tracked in every member
+// function that mutates them -- including through `this->`.
+
+#include <vector>
+
+#include "ff/lint/rules.h"
+#include "ff/lint/tree.h"
+
+namespace ff::lint {
+
+/// Runs container-invalidation over every function body in src/ and
+/// tools/lint/. allow() directives are already applied; findings they
+/// dropped are appended to `suppressed` (when non-null).
+[[nodiscard]] std::vector<Finding> check_container_invalidation(
+    const SourceTree& tree, std::vector<Finding>* suppressed = nullptr);
+
+}  // namespace ff::lint

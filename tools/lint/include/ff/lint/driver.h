@@ -25,10 +25,11 @@ struct LintResult {
 [[nodiscard]] LintResult lint_files(
     const std::vector<std::pair<std::string, std::string>>& files);
 
-/// Lints `<root>/src` plus, when present, `<root>/bench` and
+/// Lints `<root>/src` plus, when present, `<root>/bench`,
 /// `<root>/examples` (whose helpers the determinism-reachability rule
-/// can trace into simulator dispatch). Throws std::runtime_error if the
-/// root has no src/ directory.
+/// can trace into simulator dispatch) and `<root>/tools/lint` (the
+/// linter lints itself). Throws std::runtime_error if the root has no
+/// src/ directory.
 [[nodiscard]] LintResult lint_tree(const std::string& root);
 
 /// Writes the findings as one JSON document:
@@ -37,6 +38,16 @@ struct LintResult {
 /// Machine-readable companion to the human output; CI attaches it as an
 /// artifact and feeds the text output to a GitHub problem matcher.
 void write_findings_json(const LintResult& result, std::ostream& os);
+
+/// Writes the findings as a SARIF 2.1.0 document (one run, one result
+/// per finding, rule metadata from rule_registry()) so CI can upload
+/// them to GitHub code scanning alongside the JSON artifact.
+void write_findings_sarif(const LintResult& result, std::ostream& os);
+
+/// Every rule id ff-lint can emit, in documentation order. The
+/// self-test asserts each one is covered by at least one seeded corpus
+/// finding; the SARIF writer publishes the same list as rule metadata.
+[[nodiscard]] const std::vector<std::string>& rule_registry();
 
 /// Embedded fixture corpus, reused by --self-test and tests/lint.
 [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&

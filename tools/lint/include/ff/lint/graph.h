@@ -33,6 +33,9 @@ namespace ff::lint {
 
 /// Runs layering, include-cycle and header-hygiene over the whole tree.
 /// allow() directives are already applied; returned findings are real.
-[[nodiscard]] std::vector<Finding> check_architecture(const SourceTree& tree);
+/// Findings dropped by an allow() directive are appended to
+/// `suppressed` (when non-null) for the stale-allow rule.
+[[nodiscard]] std::vector<Finding> check_architecture(
+    const SourceTree& tree, std::vector<Finding>* suppressed = nullptr);
 
 }  // namespace ff::lint

@@ -45,6 +45,15 @@ struct MacroDef {
   int line{1};
 };
 
+/// One physical line's worth of comment text (leading // or /* markers
+/// stripped; block comments are split per line). Rules that honor
+/// `ff-lint:` control directives parse them from here, so directive
+/// text inside string literals is never mistaken for a directive.
+struct CommentLine {
+  int line{1};
+  std::string text;
+};
+
 /// Result of lexing one file. `tokens` is the translation unit's code
 /// token stream with all preprocessor directives removed; directives
 /// ff-lint cares about are surfaced in structured form alongside it.
@@ -52,6 +61,7 @@ struct LexedFile {
   std::vector<Token> tokens;
   std::vector<IncludeDirective> includes;
   std::vector<MacroDef> macros;
+  std::vector<CommentLine> comments;
   bool pragma_once{false};
 };
 

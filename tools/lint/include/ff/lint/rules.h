@@ -54,8 +54,12 @@ struct Finding {
 /// Runs every determinism rule over one file of `tree`, consulting the
 /// tree for macro classification and cross-file container declarations.
 /// allow() directives are already applied; returned findings are real.
-[[nodiscard]] std::vector<Finding> check_determinism(const SourceTree& tree,
-                                                     const SourceFile& file);
+/// Findings dropped by an allow() directive are appended to
+/// `suppressed` (when non-null) so the driver's stale-allow rule can
+/// tell live suppressions from dead ones.
+[[nodiscard]] std::vector<Finding> check_determinism(
+    const SourceTree& tree, const SourceFile& file,
+    std::vector<Finding>* suppressed = nullptr);
 
 /// Raw token-stream scan for the stateless determinism rules
 /// (wall-clock, ambient-entropy, unordered-pointer-key,

@@ -1,12 +1,15 @@
 #pragma once
 
-// Source tree model for ff-lint: every C++ file under src/, lexed once,
-// with its module identity (src/<module>/...), public-header key
-// ("ff/<module>/<name>.h" for headers under src/<module>/include/), raw
-// lines (for `// ff-lint: allow(rule)` directives, which live in
-// comments and are therefore invisible to the token stream), and the
-// cross-file indexes the rules consult: a macro table spanning the whole
-// tree and the set of unordered-container declarations per file.
+// Source tree model for ff-lint: every C++ file under src/ (and the
+// linter's own tree under tools/lint/), lexed once, with its module
+// identity, public-header key ("ff/<module>/<name>.h" for headers under
+// the module's include/ root), raw lines, per-line comment text (the
+// only place `// ff-lint: allow(<rule>)` directives are parsed from, so
+// directive-shaped prose inside string literals is inert), and the
+// cross-file indexes the rules consult: a macro table spanning the
+// whole tree, the set of unordered-container declarations per file, and
+// the map of growable-container declarations (vector/string/deque) the
+// dataflow layer tracks for reference invalidation.
 
 #include <map>
 #include <set>
@@ -19,24 +22,46 @@ namespace ff::lint {
 
 struct SourceFile {
   std::string rel;         ///< repo-relative path, '/'-separated
-  std::string module;      ///< "sim", "util", ... ("" outside src/<mod>)
+  std::string module;      ///< "sim", "util", ... ("" outside a module)
   bool public_header{false};
   std::string header_key;  ///< "ff/<mod>/<name>.h" for public headers
   std::vector<std::string> lines;
   LexedFile lex;
+  /// Comment text per physical line (concatenated when a line carries
+  /// more than one comment).
+  std::map<int, std::string> comments;
   /// Names declared in this file as unordered_{map,set} variables.
   std::set<std::string> unordered_decls;
+  /// Names declared as growable containers, mapped to their kind:
+  /// "vector", "string" (references invalidated by growth) or "deque"
+  /// (references stable under push/emplace at either end).
+  std::map<std::string, std::string> container_decls;
 };
 
-/// Module named by a path of the form src/<module>/..., else "".
+/// Module named by a path of the form src/<module>/...; the linter's
+/// own sources under tools/lint/ form the "lint" module. "" otherwise.
 [[nodiscard]] std::string module_of(const std::string& rel);
 
-/// Rules allowed on line `line` (1-based) by `// ff-lint: allow(rule)`
+/// One `// ff-lint: allow(<rule>)` control directive, as parsed from
+/// comment text. `has_rationale` records whether any prose follows the
+/// closing parenthesis in the same comment — rules with a mandatory
+/// rationale (fingerprint-exempt) reject bare directives.
+struct AllowDirective {
+  int line{1};
+  std::string rule;
+  bool has_rationale{false};
+};
+
+/// Every allow() directive in the file, in line order.
+[[nodiscard]] std::vector<AllowDirective> allow_directives(
+    const SourceFile& file);
+
+/// Rules allowed on line `line` (1-based) by `// ff-lint: allow(<rule>)`
 /// directives on that line or in the contiguous //-comment block
 /// directly above it. Line-scoped primitive; rules should prefer
 /// allowed_rules_for, which widens the scope to the whole statement.
-[[nodiscard]] std::set<std::string> allowed_rules(
-    const std::vector<std::string>& lines, int line);
+[[nodiscard]] std::set<std::string> allowed_rules(const SourceFile& file,
+                                                  int line);
 
 /// First and last physical line of the statement containing `line`,
 /// derived from the token stream (statement boundaries are `;` at paren
@@ -56,6 +81,14 @@ struct StatementExtent {
 /// statements escape their own annotation.
 [[nodiscard]] std::set<std::string> allowed_rules_for(const SourceFile& file,
                                                       int line);
+
+/// True when a directive written on `directive_line` is in scope for a
+/// finding at `finding_line`: on one of the finding's statement lines,
+/// or in the contiguous //-comment block directly above the statement.
+/// This is the exact inverse of allowed_rules_for's lookup; stale-allow
+/// uses it to decide whether a directive suppressed anything.
+[[nodiscard]] bool directive_covers(const SourceFile& file,
+                                    int directive_line, int finding_line);
 
 class SourceTree {
  public:
@@ -80,6 +113,12 @@ class SourceTree {
   /// its own plus those of every header in its (transitive) ff include
   /// closure.
   [[nodiscard]] std::set<std::string> visible_unordered_decls(
+      const SourceFile& file) const;
+
+  /// Union of growable-container declarations (name -> kind) visible to
+  /// `file` through the same closure; class members declared in headers
+  /// become visible to every including TU.
+  [[nodiscard]] std::map<std::string, std::string> visible_container_decls(
       const SourceFile& file) const;
 
  private:

@@ -317,7 +317,8 @@ std::vector<FunctionDef> index_functions(const SourceTree& tree) {
   return out;
 }
 
-std::vector<Finding> check_reachability(const SourceTree& tree) {
+std::vector<Finding> check_reachability(const SourceTree& tree,
+                                        std::vector<Finding>* suppressed) {
   const std::vector<FunctionDef> funcs = index_functions(tree);
 
   // Name index for call resolution.
@@ -404,14 +405,23 @@ std::vector<Finding> check_reachability(const SourceTree& tree) {
     }
 
     for (const Hazard& h : hazards) {
+      Finding found{file.rel, h.line, "determinism-reachability",
+                    h.message + " [" + h.rule +
+                        " reachable from dispatch: " + path + "]"};
       const std::set<std::string> allows = allowed_rules_for(file, h.line);
       if (allows.count("determinism-reachability") > 0 ||
           allows.count(h.rule) > 0) {
+        if (suppressed != nullptr) {
+          // A directive naming either the reachability rule or the base
+          // rule suppressed this; record both spellings as live.
+          Finding base = found;
+          base.rule = h.rule;
+          suppressed->push_back(std::move(base));
+          suppressed->push_back(std::move(found));
+        }
         continue;
       }
-      out.push_back({file.rel, h.line, "determinism-reachability",
-                     h.message + " [" + h.rule +
-                         " reachable from dispatch: " + path + "]"});
+      out.push_back(std::move(found));
     }
   }
   std::sort(out.begin(), out.end());

@@ -51,6 +51,26 @@ bool is_mutex_type_token(const std::string& s) {
   return kTypes.count(s) > 0;
 }
 
+/// Unsigned-integer type tokens: fields of these types in aggregate
+/// result structs are conservation counters for fingerprint-completeness.
+bool is_counter_type_token(const std::string& s) {
+  static const std::set<std::string> kTypes = {
+      "unsigned", "uint8_t", "uint16_t", "uint32_t", "uint64_t", "size_t",
+      "uintptr_t"};
+  return kTypes.count(s) > 0;
+}
+
+/// Arithmetic type tokens (the repo's sim-time aliases included):
+/// fields of these types must be mixed into the result fingerprint.
+bool is_numeric_type_token(const std::string& s) {
+  if (is_counter_type_token(s)) return true;
+  static const std::set<std::string> kTypes = {
+      "double", "float", "int", "long", "short", "signed", "int8_t",
+      "int16_t", "int32_t", "int64_t", "ptrdiff_t", "intptr_t", "SimTime",
+      "SimDuration"};
+  return kTypes.count(s) > 0;
+}
+
 std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open,
                           const char* opener, const char* closer) {
   int depth = 0;
@@ -382,6 +402,8 @@ class ClassParser {
     bool is_sync = false;
     bool is_mutex = false;
     bool guarded = false;
+    bool numeric = false;
+    bool counter = false;
     int angle = 0;
     for (std::size_t n = 0; n < stmt.size(); ++n) {
       const Token& t = toks_[stmt[n]];
@@ -403,6 +425,8 @@ class ClassParser {
       if (t.text == "const") is_const = true;
       if (is_sync_type_token(t.text)) is_sync = true;
       if (is_mutex_type_token(t.text)) is_mutex = true;
+      if (is_numeric_type_token(t.text)) numeric = true;
+      if (is_counter_type_token(t.text)) counter = true;
     }
 
     // Member name: the identifier directly before the first annotation
@@ -428,6 +452,8 @@ class ClassParser {
     decl.line = line;
     decl.guarded = guarded;
     decl.exempt = is_static || is_const || is_sync;
+    decl.numeric = numeric && !is_static;
+    decl.counter = counter && !is_static;
     info->members.push_back(decl);
 
     // FF_ACQUIRED_BEFORE/AFTER on the declaration: ordering edges.
@@ -637,7 +663,8 @@ class GuardScanner {
 /// Depth-first cycle search over the lock-order graph; each distinct
 /// cycle is reported once, rotated so its smallest lock name leads.
 void find_lock_cycles(const std::vector<LockEdge>& edges,
-                      std::vector<Finding>* out) {
+                      std::vector<Finding>* out,
+                      std::vector<Finding>* suppressed) {
   std::map<std::string, std::vector<const LockEdge*>> adj;
   for (const LockEdge& e : edges) adj[e.from].push_back(&e);
 
@@ -663,6 +690,8 @@ void find_lock_cycles(const std::vector<LockEdge>& edges,
         path.pop_back();
         continue;
       }
+      // ff-lint: allow(container-invalidation) the pop_back branch above
+      // continues the loop without touching 'f' again.
       const LockEdge* e = it->second[f.next++];
       const auto on_path = std::find(path.begin(), path.end(), e->to);
       if (on_path != path.end()) {
@@ -683,8 +712,11 @@ void find_lock_cycles(const std::vector<LockEdge>& edges,
                   : "lock acquisition order cycle: " + text +
                         "; make every path agree on one order or declare "
                         "it with FF_ACQUIRED_BEFORE";
+          Finding found{file->rel, e->line, "lock-order", msg};
           if (allowed_rules_for(*file, e->line).count("lock-order") == 0) {
-            out->push_back({file->rel, e->line, "lock-order", msg});
+            out->push_back(std::move(found));
+          } else if (suppressed != nullptr) {
+            suppressed->push_back(std::move(found));
           }
         }
         continue;
@@ -704,14 +736,18 @@ std::vector<ClassInfo> parse_classes(const SourceFile& file) {
   return out;
 }
 
-std::vector<Finding> check_concurrency(const SourceTree& tree) {
+std::vector<Finding> check_concurrency(const SourceTree& tree,
+                                       std::vector<Finding>* suppressed) {
   std::vector<Finding> out;
 
   // Pass 1: class index across the whole of src/.
   std::vector<std::pair<const SourceFile*, ClassInfo>> classes;
   std::map<std::string, std::set<std::string>> mutex_index;  // class->locks
   for (const SourceFile& file : tree.files()) {
-    if (file.rel.compare(0, 4, "src/") != 0) continue;
+    if (file.rel.compare(0, 4, "src/") != 0 &&
+        file.rel.compare(0, 11, "tools/lint/") != 0) {
+      continue;
+    }
     for (ClassInfo& info : parse_classes(file)) {
       if (!info.mutex_members.empty()) {
         auto& set = mutex_index[info.name];
@@ -734,16 +770,18 @@ std::vector<Finding> check_concurrency(const SourceTree& tree) {
     if (!info.mutex_members.empty() && !info.scoped_capability) {
       for (const MemberDecl& m : info.members) {
         if (m.guarded || m.exempt) continue;
+        Finding found{
+            file->rel, m.line, "unguarded-shared-state",
+            "member '" + m.name + "' of mutex-owning class '" + info.name +
+                "' has no FF_GUARDED_BY and is not atomic/const; annotate "
+                "it, or explain with "
+                "'// ff-lint: allow(unguarded-shared-state) <reason>'"};
         if (allowed_rules_for(*file, m.line)
                 .count("unguarded-shared-state") > 0) {
+          if (suppressed != nullptr) suppressed->push_back(std::move(found));
           continue;
         }
-        out.push_back(
-            {file->rel, m.line, "unguarded-shared-state",
-             "member '" + m.name + "' of mutex-owning class '" + info.name +
-                 "' has no FF_GUARDED_BY and is not atomic/const; annotate "
-                 "it, or explain with "
-                 "'// ff-lint: allow(unguarded-shared-state) <reason>'"});
+        out.push_back(std::move(found));
       }
     }
 
@@ -760,16 +798,18 @@ std::vector<Finding> check_concurrency(const SourceTree& tree) {
     for (const auto& [cap, counts] : parity) {
       if (counts.first > 0 && counts.second > 0) continue;
       const int line = first_line[cap];
-      if (allowed_rules_for(*file, line).count("annotation-parity") > 0) {
-        continue;
-      }
       const char* has = counts.first > 0 ? "FF_ACQUIRE" : "FF_RELEASE";
       const char* missing = counts.first > 0 ? "FF_RELEASE" : "FF_ACQUIRE";
-      out.push_back(
-          {file->rel, line, "annotation-parity",
-           "class '" + info.name + "' declares " + has + " of capability '" +
-               cap + "' but no " + missing +
-               " in its API: callers could never balance the acquisition"});
+      Finding found{
+          file->rel, line, "annotation-parity",
+          "class '" + info.name + "' declares " + has + " of capability '" +
+              cap + "' but no " + missing +
+              " in its API: callers could never balance the acquisition"};
+      if (allowed_rules_for(*file, line).count("annotation-parity") > 0) {
+        if (suppressed != nullptr) suppressed->push_back(std::move(found));
+        continue;
+      }
+      out.push_back(std::move(found));
     }
   }
 
@@ -781,10 +821,13 @@ std::vector<Finding> check_concurrency(const SourceTree& tree) {
     }
   }
   for (const SourceFile& file : tree.files()) {
-    if (file.rel.compare(0, 4, "src/") != 0) continue;
+    if (file.rel.compare(0, 4, "src/") != 0 &&
+        file.rel.compare(0, 11, "tools/lint/") != 0) {
+      continue;
+    }
     GuardScanner(file, mutex_index, &edges).run();
   }
-  find_lock_cycles(edges, &out);
+  find_lock_cycles(edges, &out, suppressed);
 
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

@@ -1,0 +1,397 @@
+#include "ff/lint/contracts.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+
+#include "ff/lint/concurrency.h"
+
+namespace ff::lint {
+namespace {
+
+bool in_scan_scope(const std::string& rel) {
+  return rel.compare(0, 4, "src/") == 0 ||
+         rel.compare(0, 11, "tools/lint/") == 0;
+}
+
+/// Token index just past the matching closer of the opener at `open`,
+/// or toks.size() when unbalanced.
+std::size_t skip_group(const std::vector<Token>& toks, std::size_t open,
+                       const char* op, const char* cl) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == op) ++depth;
+    if (toks[i].text == cl && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+/// Half-open token range.
+struct TokenRange {
+  std::size_t begin{0};
+  std::size_t end{0};
+  bool found{false};
+};
+
+/// Body range of the definition of function `name` inside [from, to):
+/// `name ( ...balanced... ) <specifiers> {`. Declarations (terminated
+/// by `;`) do not match.
+TokenRange function_body(const std::vector<Token>& toks, std::size_t from,
+                         std::size_t to, const std::string& name) {
+  to = std::min(to, toks.size());
+  for (std::size_t i = from; i < to; ++i) {
+    if (toks[i].kind != TokKind::kIdentifier || toks[i].text != name) {
+      continue;
+    }
+    if (i + 1 >= to || toks[i + 1].text != "(") continue;
+    std::size_t j = skip_group(toks, i + 1, "(", ")");
+    // Specifiers between the parameter list and the body: const,
+    // noexcept, trailing return types, ref-qualifiers.
+    while (j < to) {
+      const Token& t = toks[j];
+      if (t.kind == TokKind::kIdentifier || t.text == "->" ||
+          t.text == "::" || t.text == "<" || t.text == ">" ||
+          t.text == "&" || t.text == "*") {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (j >= to || toks[j].text != "{") continue;
+    return {j + 1, skip_group(toks, j, "{", "}"), true};
+  }
+  return {};
+}
+
+/// Body range of `struct|class <name> ... {` (skipping forward
+/// declarations).
+TokenRange struct_body(const std::vector<Token>& toks,
+                       const std::string& name) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text != "struct" && toks[i].text != "class") continue;
+    if (toks[i + 1].kind != TokKind::kIdentifier ||
+        toks[i + 1].text != name) {
+      continue;
+    }
+    std::size_t j = i + 2;
+    while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].text != "{") continue;
+    return {j + 1, skip_group(toks, j, "{", "}"), true};
+  }
+  return {};
+}
+
+void collect_idents(const std::vector<Token>& toks, const TokenRange& range,
+                    std::set<std::string>* out) {
+  for (std::size_t i = range.begin; i < range.end && i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdentifier) out->insert(toks[i].text);
+  }
+}
+
+/// Conservation-identity methods per struct: fields named in their
+/// bodies count as accounted even when absent from the fingerprint.
+const std::map<std::string, std::vector<std::string>>&
+conservation_sinks() {
+  static const std::map<std::string, std::vector<std::string>> kSinks = {
+      {"TelemetryTotals", {"accounted", "conserved"}},
+      {"ServerResult", {"conserved"}},
+  };
+  return kSinks;
+}
+
+/// Exemption state of a field wrt fingerprint-exempt directives.
+enum class Exempt { kNone, kMissingRationale, kExempt };
+
+Exempt exemption_for(const std::vector<AllowDirective>& dirs,
+                     const SourceFile& file, int line, int* directive_line) {
+  Exempt state = Exempt::kNone;
+  for (const AllowDirective& d : dirs) {
+    if (d.rule != "fingerprint-exempt") continue;
+    if (!directive_covers(file, d.line, line)) continue;
+    *directive_line = d.line;
+    if (d.has_rationale) return Exempt::kExempt;
+    state = Exempt::kMissingRationale;
+  }
+  return state;
+}
+
+void emit(const SourceFile& file, int line, const char* rule,
+          std::string message, std::vector<Finding>* out,
+          std::vector<Finding>* suppressed) {
+  Finding f{file.rel, line, rule, std::move(message)};
+  if (allowed_rules_for(file, line).count(rule) > 0) {
+    if (suppressed != nullptr) suppressed->push_back(std::move(f));
+    return;
+  }
+  out->push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------------
+// nodiscard-contract helpers.
+// ---------------------------------------------------------------------
+
+/// One curated-name API declaration found by the scan.
+struct ApiDecl {
+  std::string module;
+  bool returns_status{false};  ///< false: void-returning overload
+};
+
+bool is_expr_keyword(const std::string& t) {
+  static const std::set<std::string> kKw = {
+      "return", "co_return", "co_yield", "co_await", "throw", "new",
+      "delete", "case",      "goto",     "else",     "do",    "sizeof",
+      "typename", "operator"};
+  return kKw.count(t) > 0;
+}
+
+/// Modules whose APIs `file` may call: its own plus every module
+/// providing a header in its transitive ff-include closure (mirrors
+/// the call-graph resolution rule).
+std::set<std::string> visible_modules(const SourceTree& tree,
+                                      const SourceFile& file) {
+  std::set<std::string> modules;
+  if (!file.module.empty()) modules.insert(file.module);
+  std::set<std::string> seen;
+  std::vector<const SourceFile*> work{&file};
+  while (!work.empty()) {
+    const SourceFile* cur = work.back();
+    work.pop_back();
+    for (const IncludeDirective& inc : cur->lex.includes) {
+      if (!seen.insert(inc.path).second) continue;
+      const SourceFile* next = tree.resolve(inc.path);
+      if (next == nullptr) continue;
+      if (!next->module.empty()) modules.insert(next->module);
+      work.push_back(next);
+    }
+  }
+  return modules;
+}
+
+}  // namespace
+
+const std::set<std::string>& fingerprint_structs() {
+  static const std::set<std::string> kStructs = {
+      "TelemetryTotals", "DeviceResult",   "ServerResult",
+      "TenantResult",    "ExperimentResult", "ServerStats",
+      "AdmissionStats",  "OffloadClientStats", "ChannelStats"};
+  return kStructs;
+}
+
+bool nodiscard_api_name(const std::string& name) {
+  if (name.rfind("try_", 0) == 0) return true;
+  if (name.rfind("evaluate_", 0) == 0) return true;
+  return name == "submit" || name == "place" || name == "admit";
+}
+
+std::vector<Finding> check_fingerprint_completeness(
+    const SourceTree& tree, std::vector<Finding>* suppressed) {
+  std::vector<Finding> out;
+
+  // The fingerprint sink: the body of sweep::result_fingerprint,
+  // wherever it is defined. Without it the rule is inert.
+  std::set<std::string> fingerprint;
+  bool have_sink = false;
+  for (const SourceFile& file : tree.files()) {
+    const TokenRange body = function_body(file.lex.tokens, 0,
+                                          file.lex.tokens.size(),
+                                          "result_fingerprint");
+    if (!body.found) continue;
+    have_sink = true;
+    collect_idents(file.lex.tokens, body, &fingerprint);
+  }
+  if (!have_sink) return out;
+
+  for (const SourceFile& file : tree.files()) {
+    if (!in_scan_scope(file.rel)) continue;
+    const std::vector<AllowDirective> dirs = allow_directives(file);
+    for (const ClassInfo& info : parse_classes(file)) {
+      if (fingerprint_structs().count(info.name) == 0) continue;
+
+      // Accounted set for this struct: the fingerprint body plus any
+      // inline conservation-identity bodies.
+      std::set<std::string> accounted = fingerprint;
+      const auto sinks = conservation_sinks().find(info.name);
+      if (sinks != conservation_sinks().end()) {
+        const TokenRange body = struct_body(file.lex.tokens, info.name);
+        if (body.found) {
+          for (const std::string& method : sinks->second) {
+            const TokenRange mb = function_body(file.lex.tokens, body.begin,
+                                                body.end, method);
+            if (mb.found) collect_idents(file.lex.tokens, mb, &accounted);
+          }
+        }
+      }
+
+      for (const MemberDecl& m : info.members) {
+        if (!m.numeric) continue;
+        if (accounted.count(m.name) > 0) continue;
+        int directive_line = m.line;
+        switch (exemption_for(dirs, file, m.line, &directive_line)) {
+          case Exempt::kExempt:
+            // Record the directive as load-bearing for stale-allow.
+            if (suppressed != nullptr) {
+              suppressed->push_back(
+                  {file.rel, m.line, "fingerprint-exempt",
+                   "field '" + m.name + "' exempted from the fingerprint"});
+            }
+            break;
+          case Exempt::kMissingRationale:
+            // One finding, not two: the directive is attached to this
+            // field, so mark it load-bearing rather than letting
+            // stale-allow pile on top of the rationale complaint.
+            if (suppressed != nullptr) {
+              suppressed->push_back(
+                  {file.rel, m.line, "fingerprint-exempt",
+                   "field '" + m.name + "' exempted without rationale"});
+            }
+            emit(file, directive_line, "fingerprint-completeness",
+                 "allow(fingerprint-exempt) on field '" + m.name + "' of '" +
+                     info.name +
+                     "' requires a rationale after the directive",
+                 &out, suppressed);
+            break;
+          case Exempt::kNone:
+            emit(file, m.line, "fingerprint-completeness",
+                 "numeric field '" + m.name + "' of '" + info.name +
+                     "' is not mixed into sweep::result_fingerprint or a "
+                     "conservation identity; mix it, or annotate with "
+                     "'// ff-lint: allow(fingerprint-exempt) <rationale>'",
+                 &out, suppressed);
+            break;
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Finding> check_nodiscard(const SourceTree& tree,
+                                     std::vector<Finding>* suppressed) {
+  std::vector<Finding> out;
+
+  // Pass 1: declaration discipline, and the cross-TU API index used to
+  // resolve call sites.
+  std::map<std::string, std::vector<ApiDecl>> api;
+  for (const SourceFile& file : tree.files()) {
+    if (!in_scan_scope(file.rel)) continue;
+    const std::vector<Token>& toks = file.lex.tokens;
+    std::size_t stmt_start = 0;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kPunct &&
+          (t.text == ";" || t.text == "{" || t.text == "}")) {
+        stmt_start = i + 1;
+        continue;
+      }
+      if (t.kind != TokKind::kIdentifier || !nodiscard_api_name(t.text)) {
+        continue;
+      }
+      if (i == 0 || i + 1 >= toks.size() || toks[i + 1].text != "(") {
+        continue;
+      }
+      // Declaration position: the name is preceded by its return type
+      // (identifier, `>`, or a `&`/`*` declarator after one), never by
+      // an expression context (call punctuation, keywords, `::` of an
+      // out-of-line definition -- [[nodiscard]] lives on declarations).
+      const Token& prev = toks[i - 1];
+      bool decl = false;
+      if (prev.kind == TokKind::kIdentifier) {
+        decl = !is_expr_keyword(prev.text);
+      } else if (prev.text == ">") {
+        decl = true;
+      } else if (prev.text == "&" || prev.text == "*") {
+        decl = i >= 2 && (toks[i - 2].kind == TokKind::kIdentifier ||
+                          toks[i - 2].text == ">");
+      }
+      if (!decl) continue;
+
+      bool returns_void = false;
+      bool has_nodiscard = false;
+      bool has_ptr = false;
+      for (std::size_t j = stmt_start; j < i; ++j) {
+        if (toks[j].text == "void") returns_void = true;
+        if (toks[j].text == "*") has_ptr = true;
+        if (toks[j].text == "nodiscard" || toks[j].text == "FF_NODISCARD") {
+          has_nodiscard = true;
+        }
+      }
+      if (returns_void && !has_ptr) {
+        api[t.text].push_back({file.module, false});
+        continue;
+      }
+      api[t.text].push_back({file.module, true});
+      if (!has_nodiscard) {
+        emit(file, t.line, "nodiscard-contract",
+             "status-returning API '" + t.text +
+                 "' must be declared [[nodiscard]]: its return value "
+                 "encodes success/placement",
+             &out, suppressed);
+      }
+    }
+  }
+
+  // Pass 2: discarded calls. A curated-name call in expression-
+  // statement position whose visible declarations all return status.
+  for (const SourceFile& file : tree.files()) {
+    const std::vector<Token>& toks = file.lex.tokens;
+    std::set<std::string> visible;
+    bool visible_built = false;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdentifier || !nodiscard_api_name(t.text)) {
+        continue;
+      }
+      if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+      // Walk back over a simple access chain (`obj.`, `ptr->`, `NS::`).
+      std::size_t start = i;
+      while (start >= 2 &&
+             (toks[start - 1].text == "." || toks[start - 1].text == "->" ||
+              toks[start - 1].text == "::") &&
+             toks[start - 2].kind == TokKind::kIdentifier) {
+        start -= 2;
+      }
+      if (start > 0) {
+        const std::string& p = toks[start - 1].text;
+        const bool stmt_pos = p == ";" || p == "{" || p == "}" ||
+                              p == "else" || p == ")";
+        if (!stmt_pos) continue;
+        // `(void)expr;` is the sanctioned deliberate discard.
+        if (p == ")" && start >= 3 && toks[start - 2].text == "void" &&
+            toks[start - 3].text == "(") {
+          continue;
+        }
+      }
+      const std::size_t after = skip_group(toks, i + 1, "(", ")");
+      if (after >= toks.size() || toks[after].text != ";") continue;
+
+      const auto entry = api.find(t.text);
+      if (entry == api.end()) continue;
+      if (!visible_built) {
+        visible = visible_modules(tree, file);
+        visible_built = true;
+      }
+      bool any_status = false;
+      bool any_void = false;
+      for (const ApiDecl& d : entry->second) {
+        if (visible.count(d.module) == 0) continue;
+        (d.returns_status ? any_status : any_void) = true;
+      }
+      if (!any_status || any_void) continue;
+      emit(file, t.line, "nodiscard-contract",
+           "discarded result of '" + t.text +
+               "': the return value encodes success/placement and must be "
+               "checked (cast to (void) to discard deliberately)",
+           &out, suppressed);
+    }
+  }
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace ff::lint

@@ -1,0 +1,403 @@
+#include "ff/lint/dataflow.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+
+#include "ff/lint/callgraph.h"
+
+namespace ff::lint {
+namespace {
+
+/// Calls that may move a growable container's element storage (or
+/// destroy elements), invalidating outstanding bindings into it.
+bool is_mutator(const std::string& name) {
+  static const std::set<std::string> kMutators = {
+      "push_back", "emplace_back", "pop_back",  "push_front",
+      "emplace_front", "pop_front", "insert",   "emplace",
+      "erase",     "clear",        "resize",    "assign",
+      "append",    "shrink_to_fit", "reserve",
+  };
+  return kMutators.count(name) > 0;
+}
+
+bool is_push(const std::string& name) {
+  return name == "push_back" || name == "emplace_back" ||
+         name == "push_front" || name == "emplace_front";
+}
+
+/// Accessors whose result is an iterator into the container.
+bool is_iterator_accessor(const std::string& name) {
+  static const std::set<std::string> kIter = {
+      "begin",  "end",  "cbegin", "cend",        "rbegin",     "rend",
+      "crbegin", "crend", "find",  "lower_bound", "upper_bound",
+      "erase",  "insert"};
+  return kIter.count(name) > 0;
+}
+
+/// Accessors whose result refers to an element (reference if bound by
+/// reference, pointer if its address is taken).
+bool is_element_accessor(const std::string& name) {
+  return name == "back" || name == "front" || name == "at";
+}
+
+bool is_pointer_accessor(const std::string& name) {
+  return name == "data" || name == "c_str";
+}
+
+enum class BindKind { kRef, kPointer, kIterator };
+
+const char* kind_name(BindKind k) {
+  switch (k) {
+    case BindKind::kRef:
+      return "reference";
+    case BindKind::kPointer:
+      return "pointer";
+    case BindKind::kIterator:
+      return "iterator";
+  }
+  return "binding";
+}
+
+struct Binding {
+  std::string name;
+  std::string container;
+  BindKind kind{BindKind::kRef};
+  int depth{0};               ///< brace depth at declaration
+  std::size_t bound_at{0};    ///< token index of the binding
+  int bound_line{1};
+  std::size_t tainted_at{0};  ///< 0 = still valid; else first token
+                              ///< index after the mutating call
+  std::string mutator;
+  int mutate_line{1};
+};
+
+/// What a binding initializer refers to: `[&] [this ->] C ( [ | . m ( )`.
+struct Rhs {
+  bool matched{false};
+  std::string container;
+  BindKind kind{BindKind::kRef};
+  bool element{false};  ///< element access: kind depends on the LHS
+};
+
+/// Keywords that can precede an identifier in expression position and
+/// must not be mistaken for a declaration's type token.
+bool is_non_type_keyword(const std::string& t) {
+  static const std::set<std::string> kKw = {
+      "return", "if",   "while", "for",  "switch", "case",  "do",
+      "else",   "goto", "new",   "delete", "co_return", "co_await",
+      "co_yield", "throw"};
+  return kKw.count(t) > 0;
+}
+
+/// Token index just past the matching ')' of the '(' at `open`, or
+/// toks.size() when unbalanced.
+std::size_t skip_call(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")" && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+/// Per-function analysis state and walk.
+class BodyAnalysis {
+ public:
+  BodyAnalysis(const SourceFile& file,
+               const std::map<std::string, std::string>& containers,
+               std::vector<Finding>* out, std::vector<Finding>* suppressed)
+      : file_(file),
+        containers_(containers),
+        out_(out),
+        suppressed_(suppressed) {}
+
+  void run(std::size_t body_begin, std::size_t body_end) {
+    const std::vector<Token>& toks = file_.lex.tokens;
+    int depth = 0;
+    for (std::size_t i = body_begin; i < body_end && i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "{") ++depth;
+        if (t.text == "}") {
+          --depth;
+          close_scope(depth);
+        }
+        continue;
+      }
+      if (t.kind != TokKind::kIdentifier) continue;
+
+      // Mutating call on a tracked container? (Does not consume the
+      // token: the same identifier may also be a tracked binding.)
+      mutation(toks, i);
+
+      // New binding declaration (`auto& r = v.back()`, `auto it = ...`)?
+      if (binding_decl(toks, i, depth)) continue;
+
+      // Range-for reference binding (`for (auto& x : v)`)?
+      if (range_for_binding(toks, i, depth)) continue;
+
+      // Re-assignment or use of an existing binding.
+      binding_touch(toks, i);
+    }
+  }
+
+ private:
+  const std::string* container_kind(const std::string& name) const {
+    const auto it = containers_.find(name);
+    return it == containers_.end() ? nullptr : &it->second;
+  }
+
+  void close_scope(int depth) {
+    bindings_.erase(std::remove_if(bindings_.begin(), bindings_.end(),
+                                   [depth](const Binding& b) {
+                                     return b.depth > depth;
+                                   }),
+                    bindings_.end());
+  }
+
+  /// Parses `[&] [this ->] C ( [ | . accessor ( )` starting at `j`.
+  Rhs parse_rhs(const std::vector<Token>& toks, std::size_t j) const {
+    Rhs rhs;
+    if (j < toks.size() && toks[j].text == "&") {
+      rhs.kind = BindKind::kPointer;
+      ++j;
+    }
+    if (j + 1 < toks.size() && toks[j].text == "this" &&
+        toks[j + 1].text == "->") {
+      j += 2;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdentifier) return rhs;
+    const std::string* kind = container_kind(toks[j].text);
+    if (kind == nullptr) return rhs;
+    rhs.container = toks[j].text;
+    if (j + 1 >= toks.size()) return rhs;
+    const std::string& next = toks[j + 1].text;
+    if (next == "[") {
+      rhs.matched = true;
+      rhs.element = rhs.kind != BindKind::kPointer;
+      return rhs;
+    }
+    if ((next == "." || next == "->") && j + 3 < toks.size() &&
+        toks[j + 2].kind == TokKind::kIdentifier &&
+        toks[j + 3].text == "(") {
+      const std::string& acc = toks[j + 2].text;
+      if (rhs.kind != BindKind::kPointer && is_iterator_accessor(acc)) {
+        rhs.matched = true;
+        rhs.kind = BindKind::kIterator;
+        return rhs;
+      }
+      if (rhs.kind != BindKind::kPointer && is_pointer_accessor(acc)) {
+        rhs.matched = true;
+        rhs.kind = BindKind::kPointer;
+        return rhs;
+      }
+      if (is_element_accessor(acc)) {
+        rhs.matched = true;
+        rhs.element = rhs.kind != BindKind::kPointer;
+        return rhs;
+      }
+    }
+    return rhs;
+  }
+
+  /// Handles `[this ->] C . mutator ( ... )` at token `i` (the
+  /// container identifier), tainting live bindings into C.
+  void mutation(const std::vector<Token>& toks, std::size_t i) {
+    const std::string* kind = container_kind(toks[i].text);
+    if (kind == nullptr) return;
+    if (i + 3 >= toks.size()) return;
+    if (toks[i + 1].text != "." && toks[i + 1].text != "->") return;
+    if (toks[i + 2].kind != TokKind::kIdentifier ||
+        !is_mutator(toks[i + 2].text)) {
+      return;
+    }
+    if (toks[i + 3].text != "(") return;
+    const std::string& mut = toks[i + 2].text;
+    const std::string& name = toks[i].text;
+    const std::size_t after = skip_call(toks, i + 3);
+    if (mut == "reserve") last_reserve_[name] = i;
+    for (Binding& b : bindings_) {
+      if (b.container != name || b.tainted_at != 0) continue;
+      // deque references/pointers survive growth at either end.
+      if (*kind == "deque" && is_push(mut) && b.kind != BindKind::kIterator) {
+        continue;
+      }
+      // reserve() sequenced before the binding exempts later growth.
+      if (*kind == "vector" &&
+          (mut == "push_back" || mut == "emplace_back")) {
+        const auto r = last_reserve_.find(name);
+        if (r != last_reserve_.end() && r->second < b.bound_at) continue;
+      }
+      // reserve itself only reallocates; it cannot shrink. Treat it as
+      // a mutation for bindings taken before it (no capacity promise).
+      b.tainted_at = after;
+      b.mutator = mut;
+      b.mutate_line = toks[i].line;
+    }
+  }
+
+  /// Handles a declaration `type[&|*] name = <rhs>` whose `=` is at
+  /// `i + 1`. Returns true when a binding was created.
+  bool binding_decl(const std::vector<Token>& toks, std::size_t i,
+                    int depth) {
+    if (i + 2 >= toks.size() || i == 0) return false;
+    if (toks[i + 1].text != "=" || toks[i + 2].text == "=") return false;
+    // Declaration-ish left context: `auto& r`, `const T* p`, `auto it`.
+    const std::string& prev = toks[i - 1].text;
+    bool lhs_ref = false;
+    if (prev == "&" || prev == "*") {
+      if (i < 2 || (toks[i - 2].kind != TokKind::kIdentifier &&
+                    toks[i - 2].text != ">")) {
+        return false;
+      }
+      lhs_ref = prev == "&";
+    } else if (toks[i - 1].kind == TokKind::kIdentifier) {
+      // Plain `auto it = ...` / `T it = ...`.
+      if (is_non_type_keyword(prev)) return false;
+    } else {
+      return false;
+    }
+    Rhs rhs = parse_rhs(toks, i + 2);
+    if (!rhs.matched) return false;
+    if (rhs.element) {
+      if (!lhs_ref) return false;  // by-value copy of an element: fine
+      rhs.kind = BindKind::kRef;
+    }
+    upsert(toks[i].text, rhs, depth, i, toks[i].line);
+    return true;
+  }
+
+  /// Handles `for (auto& x : v)` at the loop variable identifier `i`
+  /// (pattern keyed on the `:` that follows it).
+  bool range_for_binding(const std::vector<Token>& toks, std::size_t i,
+                         int depth) {
+    if (i == 0 || i + 2 >= toks.size()) return false;
+    if (toks[i - 1].text != "&") return false;
+    if (toks[i + 1].text != ":") return false;
+    std::size_t j = i + 2;
+    if (j + 1 < toks.size() && toks[j].text == "this" &&
+        toks[j + 1].text == "->") {
+      j += 2;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdentifier) {
+      return false;
+    }
+    if (container_kind(toks[j].text) == nullptr) return false;
+    Rhs rhs;
+    rhs.container = toks[j].text;
+    rhs.kind = BindKind::kRef;
+    // Scope the loop variable to the loop body, one level deeper.
+    upsert(toks[i].text, rhs, depth + 1, i, toks[i].line);
+    return true;
+  }
+
+  /// Re-assignment (re-take) or use of a live binding named at `i`.
+  void binding_touch(const std::vector<Token>& toks, std::size_t i) {
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+                  toks[i - 1].text == "::")) {
+      return;  // member of something else that reuses the name
+    }
+    const auto it = std::find_if(bindings_.begin(), bindings_.end(),
+                                 [&](const Binding& b) {
+                                   return b.name == toks[i].text;
+                                 });
+    if (it == bindings_.end()) return;
+    Binding& b = *it;
+
+    const bool assigned = i + 2 < toks.size() && toks[i + 1].text == "=" &&
+                          toks[i + 2].text != "=";
+    if (assigned && b.kind != BindKind::kRef) {
+      // Re-taking an iterator/pointer after mutation is the fix, not a
+      // bug: rebind (fresh if the initializer is a container access,
+      // gone from tracking otherwise).
+      Rhs rhs = parse_rhs(toks, i + 2);
+      if (rhs.matched && !rhs.element) {
+        upsert(b.name, rhs, b.depth, i, toks[i].line);
+      } else {
+        bindings_.erase(it);
+      }
+      return;
+    }
+
+    if (b.tainted_at == 0 || i < b.tainted_at) return;
+    report(b, toks[i].line);
+    bindings_.erase(it);  // one finding per invalidated binding
+  }
+
+  void upsert(const std::string& name, const Rhs& rhs, int depth,
+              std::size_t at, int line) {
+    const auto it = std::find_if(bindings_.begin(), bindings_.end(),
+                                 [&](const Binding& b) {
+                                   return b.name == name;
+                                 });
+    Binding b;
+    b.name = name;
+    b.container = rhs.container;
+    b.kind = rhs.kind;
+    b.depth = it == bindings_.end() ? depth : it->depth;
+    b.bound_at = at;
+    b.bound_line = line;
+    if (it == bindings_.end()) {
+      bindings_.push_back(std::move(b));
+    } else {
+      *it = std::move(b);
+    }
+  }
+
+  void report(const Binding& b, int line) {
+    Finding f{file_.rel, line, "container-invalidation",
+              std::string(kind_name(b.kind)) + " '" + b.name + "' into '" +
+                  b.container + "' (bound at line " +
+                  std::to_string(b.bound_line) + ") used after '" +
+                  b.container + "." + b.mutator + "()' at line " +
+                  std::to_string(b.mutate_line) +
+                  " may be invalidated; re-take it after the mutation or "
+                  "reserve() capacity before binding"};
+    if (allowed_rules_for(file_, line).count("container-invalidation") > 0) {
+      if (suppressed_ != nullptr) suppressed_->push_back(std::move(f));
+      return;
+    }
+    out_->push_back(std::move(f));
+  }
+
+  const SourceFile& file_;
+  const std::map<std::string, std::string>& containers_;
+  std::vector<Finding>* out_;
+  std::vector<Finding>* suppressed_;
+  std::vector<Binding> bindings_;
+  std::map<std::string, std::size_t> last_reserve_;
+};
+
+bool in_scan_scope(const std::string& rel) {
+  return rel.compare(0, 4, "src/") == 0 ||
+         rel.compare(0, 11, "tools/lint/") == 0;
+}
+
+}  // namespace
+
+std::vector<Finding> check_container_invalidation(
+    const SourceTree& tree, std::vector<Finding>* suppressed) {
+  std::vector<Finding> out;
+  std::map<std::size_t, std::map<std::string, std::string>> containers;
+  for (const FunctionDef& fn : index_functions(tree)) {
+    const SourceFile& file = tree.files()[fn.file];
+    if (!in_scan_scope(file.rel)) continue;
+    auto cached = containers.find(fn.file);
+    if (cached == containers.end()) {
+      cached = containers
+                   .emplace(fn.file, tree.visible_container_decls(file))
+                   .first;
+    }
+    if (cached->second.empty()) continue;
+    BodyAnalysis analysis(file, cached->second, &out, suppressed);
+    analysis.run(fn.body_begin, fn.body_end);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace ff::lint

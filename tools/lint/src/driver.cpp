@@ -9,6 +9,8 @@
 
 #include "ff/lint/callgraph.h"
 #include "ff/lint/concurrency.h"
+#include "ff/lint/contracts.h"
+#include "ff/lint/dataflow.h"
 #include "ff/lint/graph.h"
 #include "ff/lint/tree.h"
 
@@ -64,17 +66,42 @@ LintResult lint_files(
     const std::vector<std::pair<std::string, std::string>>& files) {
   const SourceTree tree(files);
   LintResult result;
+  // Findings an allow() directive dropped, collected across every rule
+  // family so the stale-allow pass below can tell load-bearing
+  // directives from leftovers.
+  std::vector<Finding> suppressed;
   result.files_scanned = tree.files().size();
   for (const SourceFile& file : tree.files()) {
-    const std::vector<Finding> det = check_determinism(tree, file);
+    const std::vector<Finding> det =
+        check_determinism(tree, file, &suppressed);
     result.findings.insert(result.findings.end(), det.begin(), det.end());
   }
-  const std::vector<Finding> arch = check_architecture(tree);
-  result.findings.insert(result.findings.end(), arch.begin(), arch.end());
-  const std::vector<Finding> conc = check_concurrency(tree);
-  result.findings.insert(result.findings.end(), conc.begin(), conc.end());
-  const std::vector<Finding> reach = check_reachability(tree);
-  result.findings.insert(result.findings.end(), reach.begin(), reach.end());
+  for (const auto& check : {check_architecture, check_concurrency,
+                            check_reachability, check_container_invalidation,
+                            check_fingerprint_completeness, check_nodiscard}) {
+    const std::vector<Finding> found = check(tree, &suppressed);
+    result.findings.insert(result.findings.end(), found.begin(), found.end());
+  }
+  // stale-allow: a directive is load-bearing iff some suppressed
+  // finding of the named rule falls within its statement extent. The
+  // rule has no escape hatch -- a stale directive is deleted, not
+  // allowed.
+  for (const SourceFile& file : tree.files()) {
+    for (const AllowDirective& d : allow_directives(file)) {
+      bool used = false;
+      for (const Finding& s : suppressed) {
+        if (s.file != file.rel || s.rule != d.rule) continue;
+        if (!directive_covers(file, d.line, s.line)) continue;
+        used = true;
+        break;
+      }
+      if (used) continue;
+      result.findings.push_back(
+          {file.rel, d.line, "stale-allow",
+           "directive 'allow(" + d.rule +
+               ")' suppresses no finding; delete it"});
+    }
+  }
   std::sort(result.findings.begin(), result.findings.end());
   return result;
 }
@@ -88,7 +115,7 @@ LintResult lint_tree(const std::string& root) {
   }
   std::vector<std::pair<std::string, std::string>> files;
   scan_dir(base, src, &files);
-  for (const char* extra : {"bench", "examples"}) {
+  for (const char* extra : {"bench", "examples", "tools/lint"}) {
     const fs::path dir = base / extra;
     if (fs::is_directory(dir)) scan_dir(base, dir, &files);
   }
@@ -110,6 +137,56 @@ void write_findings_json(const LintResult& result, std::ostream& os) {
     os << "\"}";
   }
   os << "],\"files_scanned\":" << result.files_scanned << "}\n";
+}
+
+void write_findings_sarif(const LintResult& result, std::ostream& os) {
+  os << "{\"$schema\":"
+        "\"https://json.schemastore.org/sarif-2.1.0.json\","
+        "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+        "\"name\":\"ff-lint\",\"rules\":[";
+  bool first = true;
+  for (const std::string& rule : rule_registry()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":\"";
+    json_escape(rule, os);
+    os << "\"}";
+  }
+  os << "]}},\"results\":[";
+  first = true;
+  for (const Finding& f : result.findings) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ruleId\":\"";
+    json_escape(f.rule, os);
+    os << "\",\"level\":\"error\",\"message\":{\"text\":\"";
+    json_escape(f.message, os);
+    os << "\"},\"locations\":[{\"physicalLocation\":{"
+          "\"artifactLocation\":{\"uri\":\"";
+    json_escape(f.file, os);
+    os << "\"},\"region\":{\"startLine\":" << f.line << "}}}]}";
+  }
+  os << "]}]}\n";
+}
+
+const std::vector<std::string>& rule_registry() {
+  static const std::vector<std::string> kRules = {
+      // determinism family
+      "wall-clock", "ambient-entropy", "unordered-pointer-key",
+      "unordered-iteration", "raw-allocation",
+      // architecture family
+      "layering", "include-cycle", "header-hygiene",
+      // concurrency family
+      "unguarded-shared-state", "lock-order", "annotation-parity",
+      // call-graph family
+      "determinism-reachability",
+      // dataflow family
+      "container-invalidation",
+      // repo-contract family
+      "fingerprint-completeness", "nodiscard-contract",
+      // meta
+      "stale-allow"};
+  return kRules;
 }
 
 }  // namespace ff::lint

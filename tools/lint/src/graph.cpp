@@ -18,10 +18,21 @@ std::string ff_module(const std::string& path) {
   return path.substr(3, end - 3);
 }
 
+/// Real findings land in `out`; findings dropped by an allow()
+/// directive land in `suppressed` (when non-null) for stale-allow.
+struct Sink {
+  std::vector<Finding>* out{nullptr};
+  std::vector<Finding>* suppressed{nullptr};
+};
+
 void add_finding(const SourceFile& file, int line, const char* rule,
-                 std::string message, std::vector<Finding>* out) {
-  if (allowed_rules_for(file, line).count(rule) > 0) return;
-  out->push_back({file.rel, line, rule, std::move(message)});
+                 std::string message, const Sink& sink) {
+  Finding f{file.rel, line, rule, std::move(message)};
+  if (allowed_rules_for(file, line).count(rule) > 0) {
+    if (sink.suppressed != nullptr) sink.suppressed->push_back(std::move(f));
+    return;
+  }
+  sink.out->push_back(std::move(f));
 }
 
 /// Depth-first cycle search over the public-header include graph. Each
@@ -29,8 +40,8 @@ void add_finding(const SourceFile& file, int line, const char* rule,
 /// smallest header key to the front.
 class CycleFinder {
  public:
-  CycleFinder(const SourceTree& tree, std::vector<Finding>* out)
-      : tree_(tree), out_(out) {}
+  CycleFinder(const SourceTree& tree, const Sink& sink)
+      : tree_(tree), sink_(sink) {}
 
   void run() {
     for (const SourceFile& f : tree_.files()) {
@@ -74,11 +85,11 @@ class CycleFinder {
       if (inc.path == cycle.front()->header_key) line = inc.line;
     }
     add_finding(tail, line, "include-cycle",
-                "public-header include cycle: " + path, out_);
+                "public-header include cycle: " + path, sink_);
   }
 
   const SourceTree& tree_;
-  std::vector<Finding>* out_;
+  Sink sink_;
   std::vector<const SourceFile*> stack_;
   std::set<std::string> done_;
   std::set<std::string> seen_;
@@ -112,12 +123,17 @@ const std::map<std::string, std::set<std::string>>& layering() {
       {"invariants",
        {"fleet", "sweep", "core", "device", "server", "net", "control",
         "models", "sim", "rt", "obs", "util"}},
+      // The linter's own tree (tools/lint/) is scanned too and depends
+      // on no src/ module.
+      {"lint", {}},
   };
   return kLayers;
 }
 
-std::vector<Finding> check_architecture(const SourceTree& tree) {
+std::vector<Finding> check_architecture(const SourceTree& tree,
+                                        std::vector<Finding>* suppressed) {
   std::vector<Finding> out;
+  const Sink sink{&out, suppressed};
   const auto& layers = layering();
 
   for (const SourceFile& file : tree.files()) {
@@ -133,7 +149,7 @@ std::vector<Finding> check_architecture(const SourceTree& tree) {
                       "module 'src/" + file.module +
                           "' is not in the DESIGN.md layering DAG; add it "
                           "to ff::lint::layering() and DESIGN.md section 6",
-                      &out);
+                      sink);
         } else if (target != file.module &&
                    own->second.count(target) == 0) {
           add_finding(
@@ -142,30 +158,30 @@ std::vector<Finding> check_architecture(const SourceTree& tree) {
                   "\": the layering DAG (DESIGN.md section 6) does not "
                   "permit " +
                   file.module + " -> " + target,
-              &out);
+              sink);
         }
         if (file.public_header && inc.angled) {
           add_finding(file, inc.line, "header-hygiene",
                       "ff headers must be included as \"" + inc.path +
                           "\", not <" + inc.path + ">",
-                      &out);
+                      sink);
         }
       } else if (file.public_header && !inc.angled) {
         add_finding(file, inc.line, "header-hygiene",
                     "non-canonical include \"" + inc.path +
                         "\": public headers may include only other public "
                         "\"ff/...\" headers and system <...> headers",
-                    &out);
+                    sink);
       }
     }
 
     if (file.public_header && !file.lex.pragma_once) {
       add_finding(file, 1, "header-hygiene",
-                  "public header is missing #pragma once", &out);
+                  "public header is missing #pragma once", sink);
     }
   }
 
-  CycleFinder(tree, &out).run();
+  CycleFinder(tree, sink).run();
 
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

@@ -94,12 +94,31 @@ class Scanner {
   int cur_line() const { return line_at(pos_); }
 
   void skip_line_comment() {
-    while (!eof() && peek() != '\n') ++pos_;
+    const int line = cur_line();
+    pos_ += 2;
+    std::string text;
+    while (!eof() && peek() != '\n') text.push_back(src_.text[pos_++]);
+    out_.comments.push_back({line, std::move(text)});
   }
 
   void skip_block_comment() {
     pos_ += 2;
-    while (!eof() && !(peek() == '*' && peek(1) == '/')) ++pos_;
+    int line = cur_line();
+    std::string text;
+    const auto flush = [&] {
+      if (!text.empty()) out_.comments.push_back({line, text});
+      text.clear();
+    };
+    while (!eof() && !(peek() == '*' && peek(1) == '/')) {
+      if (peek() == '\n') {
+        flush();
+        ++pos_;
+        line = cur_line();
+        continue;
+      }
+      text.push_back(src_.text[pos_++]);
+    }
+    flush();
     if (!eof()) pos_ += 2;
   }
 
@@ -230,7 +249,20 @@ class Scanner {
       }
       if (what == "once") out_.pragma_once = true;
     }
-    while (!eof() && peek() != '\n') ++pos_;
+    // Skip the rest of the directive line, but still harvest trailing
+    // comments: "#include <chrono>  // ff-lint: allow(...)" carries a
+    // control directive rules must see.
+    while (!eof() && peek() != '\n') {
+      if (peek() == '/' && peek(1) == '/') {
+        skip_line_comment();
+        break;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        skip_block_comment();
+        continue;
+      }
+      ++pos_;
+    }
   }
 
   void parse_include() {

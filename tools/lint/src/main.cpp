@@ -1,10 +1,12 @@
 // ff-lint CLI: self-hosted static analysis for the FrameFeedback tree.
 // Replaces tools/determinism_lint.py behind the same contract:
 //
-//   ff-lint [--root DIR]   lint <DIR>/src (plus bench/ and examples/
-//                          when present; default root: cwd); exit 1 on
-//                          findings
+//   ff-lint [--root DIR]   lint <DIR>/src (plus bench/, examples/ and
+//                          tools/lint/ when present; default root:
+//                          cwd); exit 1 on findings
 //   ff-lint --json=PATH    additionally write the findings as JSON
+//   ff-lint --sarif=PATH   additionally write the findings as SARIF
+//                          2.1.0 (GitHub code-scanning upload)
 //   ff-lint --self-test    run the embedded fixture corpus and verify
 //                          every rule fires (and nothing else does)
 //
@@ -12,8 +14,11 @@
 // unordered-iteration, raw-allocation (determinism family);
 // layering, include-cycle, header-hygiene (architecture family);
 // unguarded-shared-state, lock-order, annotation-parity (concurrency
-// family); determinism-reachability (call-graph family).
-// Escape hatch: `// ff-lint: allow(<rule>) <reason>`.
+// family); determinism-reachability (call-graph family);
+// container-invalidation (dataflow family); fingerprint-completeness,
+// nodiscard-contract (repo-contract family); stale-allow (meta).
+// Escape hatch: `// ff-lint: allow(<rule>) <reason>`; stale-allow has
+// none (delete the dead directive instead).
 
 #include <exception>
 #include <fstream>
@@ -25,8 +30,22 @@
 namespace {
 
 int usage(std::ostream& os, int code) {
-  os << "usage: ff-lint [--root DIR] [--json=PATH] [--self-test]\n";
+  os << "usage: ff-lint [--root DIR] [--json=PATH] [--sarif=PATH] "
+        "[--self-test]\n";
   return code;
+}
+
+int write_report(const ff::lint::LintResult& result,
+                 const std::string& path,
+                 void (*writer)(const ff::lint::LintResult&,
+                                std::ostream&)) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "ff-lint: cannot write " << path << "\n";
+    return 2;
+  }
+  writer(result, out);
+  return 0;
 }
 
 }  // namespace
@@ -34,6 +53,7 @@ int usage(std::ostream& os, int code) {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string json_path;
+  std::string sarif_path;
   bool run_self_test = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -46,6 +66,8 @@ int main(int argc, char** argv) {
       root = arg.substr(7);
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
     } else if (arg == "--help" || arg == "-h") {
       return usage(std::cout, 0);
     } else {
@@ -63,12 +85,14 @@ int main(int argc, char** argv) {
                 << f.message << "\n";
     }
     if (!json_path.empty()) {
-      std::ofstream out(json_path);
-      if (!out) {
-        std::cerr << "ff-lint: cannot write " << json_path << "\n";
-        return 2;
-      }
-      ff::lint::write_findings_json(result, out);
+      const int rc =
+          write_report(result, json_path, ff::lint::write_findings_json);
+      if (rc != 0) return rc;
+    }
+    if (!sarif_path.empty()) {
+      const int rc =
+          write_report(result, sarif_path, ff::lint::write_findings_sarif);
+      if (rc != 0) return rc;
     }
     if (!result.findings.empty()) {
       std::cerr << "ff-lint: FAILED (" << result.findings.size()

@@ -257,7 +257,8 @@ std::vector<std::string> macro_hazards(const SourceTree& tree,
 }
 
 std::vector<Finding> check_determinism(const SourceTree& tree,
-                                       const SourceFile& file) {
+                                       const SourceFile& file,
+                                       std::vector<Finding>* suppressed) {
   std::vector<Finding> raw;
   if (in_dirs(file.rel, deterministic_dirs())) {
     // Direct uses in the code token stream.
@@ -299,8 +300,11 @@ std::vector<Finding> check_determinism(const SourceTree& tree,
     if (f.rule == "raw-allocation" && !in_dirs(file.rel, dispatch_dirs())) {
       continue;
     }
-    if (allowed_rules_for(file, f.line).count(f.rule) > 0) continue;
     f.file = file.rel;
+    if (allowed_rules_for(file, f.line).count(f.rule) > 0) {
+      if (suppressed != nullptr) suppressed->push_back(std::move(f));
+      continue;
+    }
     out.push_back(std::move(f));
   }
   std::sort(out.begin(), out.end());

@@ -252,21 +252,121 @@ void refill() {
   ff::MutexLock b(g_back);
 }
 )corpus"},
+
+    // container-invalidation: a reference into a vector used after a
+    // growing push_back without an intervening reserve.
+    {"src/core/bad_invalidation.cpp", R"corpus(#include <vector>
+int last_after_grow() {
+  std::vector<int> v;
+  v.push_back(1);
+  const int& tail = v.back();
+  v.push_back(2);
+  return tail;
+}
+)corpus"},
+
+    // container-invalidation decoys: reserve-preceded growth, deque
+    // push stability, and a reference re-taken after the mutation.
+    {"src/core/good_invalidation.cpp", R"corpus(#include <deque>
+#include <vector>
+int stable_patterns() {
+  std::vector<int> v;
+  v.reserve(8);
+  v.push_back(1);
+  int& first = v.front();
+  v.push_back(2);
+  std::deque<int> d;
+  d.push_back(1);
+  int& head = d.front();
+  d.push_back(2);
+  int& fresh = v.back();
+  return first + head + fresh;
+}
+)corpus"},
+
+    // fingerprint-completeness: a curated result struct whose double
+    // field never reaches result_fingerprint. The exempted sibling
+    // (with a rationale) is the clean decoy and keeps its directive
+    // load-bearing for stale-allow.
+    {"src/sweep/bad_fingerprint.cpp", R"corpus(#include <cstdint>
+struct TelemetryTotals {
+  uint64_t frames_offered = 0;
+  uint64_t frames_completed = 0;
+  uint64_t frames_dropped = 0;
+  double mean_latency_ms = 0.0;
+  // ff-lint: allow(fingerprint-exempt) config echo, not a result.
+  double debug_echo = 0.0;
+};
+uint64_t result_fingerprint(const TelemetryTotals& t) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  h ^= t.frames_offered;
+  h ^= t.frames_completed;
+  h ^= t.frames_dropped;
+  return h;
+}
+)corpus"},
+
+    // nodiscard-contract (declaration): a curated try_* API that is not
+    // [[nodiscard]].
+    {"src/net/bad_nodiscard_decl.cpp", R"corpus(class SlotTable {
+ public:
+  bool try_claim(int id);
+};
+)corpus"},
+
+    // nodiscard-contract (call): a curated call whose result is
+    // discarded in expression-statement position.
+    {"src/device/bad_nodiscard_call.cpp", R"corpus(struct Queue {
+  [[nodiscard]] bool try_push(int v);
+};
+void feed(Queue& q) {
+  q.try_push(7);
+}
+)corpus"},
+
+    // nodiscard decoys: consumed result, explicit (void) discard, and a
+    // curated name with a visible void-returning overload.
+    {"src/device/good_nodiscard.cpp", R"corpus(struct Queue2 {
+  [[nodiscard]] bool try_pop(int* out);
+};
+struct Sink {
+  void submit(int v);
+};
+void drain_all(Queue2& q, Sink& s) {
+  int v = 0;
+  if (q.try_pop(&v)) s.submit(v);
+  (void)q.try_pop(&v);
+  s.submit(3);
+}
+)corpus"},
+
+    // stale-allow: a directive whose statement extent produces no
+    // finding for the named rule.
+    {"src/net/bad_stale_allow.cpp", R"corpus(unsigned checksum(unsigned x) {
+  // ff-lint: allow(ambient-entropy) legacy seed path, removed in v3.
+  return x * 2654435761u;
+}
+)corpus"},
 };
 
 const std::vector<std::pair<std::string, std::string>> kExpected = {
     {"bench/bad_reach.cpp", "determinism-reachability"},
     {"src/control/include/ff/control/bad_parity.h", "annotation-parity"},
     {"src/control/include/ff/control/loose.h", "header-hygiene"},
+    {"src/core/bad_invalidation.cpp", "container-invalidation"},
+    {"src/device/bad_nodiscard_call.cpp", "nodiscard-contract"},
     {"src/device/src/session_table.cpp", "unordered-iteration"},
     {"src/models/src/bad_layer.cpp", "layering"},
     {"src/net/bad_entropy.cpp", "ambient-entropy"},
+    {"src/net/bad_nodiscard_decl.cpp", "nodiscard-contract"},
+    {"src/net/bad_stale_allow.cpp", "stale-allow"},
     {"src/net/include/ff/net/cycle_b.h", "include-cycle"},
     {"src/rt/bad_order.cpp", "lock-order"},
     {"src/server/bad_ptr_key.cpp", "unordered-pointer-key"},
     {"src/sim/bad_alloc.cpp", "raw-allocation"},
     {"src/sim/bad_clock.cpp", "wall-clock"},
     {"src/sim/macro_clock.cpp", "wall-clock"},
+    {"src/sweep/bad_fingerprint.cpp", "fingerprint-completeness"},
     {"src/util/include/ff/util/bad_guard.h", "unguarded-shared-state"},
 };
 
@@ -307,6 +407,23 @@ int self_test(std::ostream& os) {
       ok = false;
     }
   }
+  // Every rule the linter can emit must have at least one seeded corpus
+  // finding, so a rule can never silently rot into a no-op. CI greps
+  // for the coverage line.
+  std::set<std::string> seeded;
+  for (const auto& want : kExpected) seeded.insert(want.second);
+  std::size_t covered = 0;
+  for (const std::string& rule : rule_registry()) {
+    if (seeded.count(rule) > 0) {
+      ++covered;
+    } else {
+      os << "self-test: FAIL rule '" << rule
+         << "' has no seeded corpus finding\n";
+      ok = false;
+    }
+  }
+  os << "self-test: coverage " << covered << "/" << rule_registry().size()
+     << " rules seeded\n";
   os << "self-test: " << (ok ? "OK" : "FAILED") << "\n";
   return ok ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 #include "ff/lint/tree.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstddef>
 
 namespace ff::lint {
@@ -52,31 +53,92 @@ std::set<std::string> find_unordered_decls(const std::vector<Token>& toks) {
   return names;
 }
 
+/// Scans for declarations of growable containers whose element storage
+/// can move on mutation:
+///   [std ::] (vector|deque|basic_string) < ...balanced... > name term
+///   [std ::] string name term
+/// where term is one of `;` `{` `=` `,`. References and pointers into
+/// containers (`vector<T>& v`) are bindings, not containers, and are
+/// deliberately not matched (the declarator position holds `&`/`*`).
+std::map<std::string, std::string> find_container_decls(
+    const std::vector<Token>& toks) {
+  std::map<std::string, std::string> decls;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    const bool templated =
+        t.text == "vector" || t.text == "deque" || t.text == "basic_string";
+    if (!templated && t.text != "string") continue;
+    std::size_t j = i + 1;
+    if (templated) {
+      if (j >= toks.size() || toks[j].text != "<") continue;
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">" && --depth == 0) break;
+      }
+      if (j >= toks.size()) continue;
+      ++j;
+    }
+    if (j + 1 >= toks.size() || toks[j].kind != TokKind::kIdentifier) {
+      continue;
+    }
+    const std::string& next = toks[j + 1].text;
+    if (next == ";" || next == "{" || next == "=" || next == ",") {
+      decls.emplace(toks[j].text, t.text == "deque" ? "deque"
+                                  : t.text == "vector" ? "vector"
+                                                       : "string");
+    }
+  }
+  return decls;
+}
+
 std::size_t skip_ws(const std::string& s, std::size_t i) {
   while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
   return i;
 }
 
-/// Appends every rule named by `// ff-lint: allow(<rule>)` occurrences
-/// in one line.
-void collect_allows(const std::string& line, std::set<std::string>* out) {
+/// Parses every `ff-lint: allow(<rule>)` occurrence in one comment's
+/// text; `line` is the physical line the comment text came from.
+void collect_allows(const std::string& text, int line,
+                    std::vector<AllowDirective>* out) {
   const std::string kTag = "ff-lint:";
-  for (std::size_t at = line.find(kTag); at != std::string::npos;
-       at = line.find(kTag, at + kTag.size())) {
-    std::size_t i = skip_ws(line, at + kTag.size());
+  for (std::size_t at = text.find(kTag); at != std::string::npos;
+       at = text.find(kTag, at + kTag.size())) {
+    std::size_t i = skip_ws(text, at + kTag.size());
     const std::string kAllow = "allow(";
-    if (line.compare(i, kAllow.size(), kAllow) != 0) continue;
+    if (text.compare(i, kAllow.size(), kAllow) != 0) continue;
     i += kAllow.size();
     std::string rule;
-    while (i < line.size() && (std::isalnum(static_cast<unsigned char>(
-                                   line[i])) ||
-                               line[i] == '-')) {
-      rule.push_back(line[i++]);
+    while (i < text.size() && (std::isalnum(static_cast<unsigned char>(
+                                   text[i])) ||
+                               text[i] == '-')) {
+      rule.push_back(text[i++]);
     }
-    if (i < line.size() && line[i] == ')' && !rule.empty()) {
-      out->insert(rule);
+    if (i < text.size() && text[i] == ')' && !rule.empty()) {
+      const std::size_t after = skip_ws(text, i + 1);
+      out->push_back({line, rule, after < text.size()});
     }
   }
+}
+
+void collect_allow_rules(const SourceFile& file, int line,
+                         std::set<std::string>* out) {
+  const auto it = file.comments.find(line);
+  if (it == file.comments.end()) return;
+  std::vector<AllowDirective> dirs;
+  collect_allows(it->second, line, &dirs);
+  for (const AllowDirective& d : dirs) out->insert(d.rule);
+}
+
+/// True when the line's first non-whitespace characters are `//` — the
+/// contiguous-comment-block test used to extend directive scope above a
+/// statement.
+bool is_comment_line(const SourceFile& file, std::size_t idx) {
+  if (idx >= file.lines.size()) return false;
+  const std::string& l = file.lines[idx];
+  const std::size_t at = l.find_first_not_of(" \t");
+  return at != std::string::npos && l.compare(at, 2, "//") == 0;
 }
 
 bool starts_with(const std::string& s, const std::string& prefix) {
@@ -86,6 +148,7 @@ bool starts_with(const std::string& s, const std::string& prefix) {
 }  // namespace
 
 std::string module_of(const std::string& rel) {
+  if (starts_with(rel, "tools/lint/")) return "lint";
   const std::string kSrc = "src/";
   if (!starts_with(rel, kSrc)) return "";
   const std::size_t end = rel.find('/', kSrc.size());
@@ -93,16 +156,20 @@ std::string module_of(const std::string& rel) {
   return rel.substr(kSrc.size(), end - kSrc.size());
 }
 
-std::set<std::string> allowed_rules(const std::vector<std::string>& lines,
-                                    int line) {
+std::vector<AllowDirective> allow_directives(const SourceFile& file) {
+  std::vector<AllowDirective> dirs;
+  for (const auto& [line, text] : file.comments) {
+    collect_allows(text, line, &dirs);
+  }
+  return dirs;
+}
+
+std::set<std::string> allowed_rules(const SourceFile& file, int line) {
   std::set<std::string> allows;
-  const auto idx = static_cast<std::size_t>(line - 1);
-  if (idx >= lines.size()) return allows;
-  collect_allows(lines[idx], &allows);
-  for (std::size_t j = idx; j-- > 0;) {
-    const std::size_t at = lines[j].find_first_not_of(" \t");
-    if (at == std::string::npos || lines[j].compare(at, 2, "//") != 0) break;
-    collect_allows(lines[j], &allows);
+  collect_allow_rules(file, line, &allows);
+  for (std::size_t j = static_cast<std::size_t>(line - 1); j-- > 0;) {
+    if (!is_comment_line(file, j)) break;
+    collect_allow_rules(file, static_cast<int>(j) + 1, &allows);
   }
   return allows;
 }
@@ -151,13 +218,23 @@ StatementExtent statement_extent(const std::vector<Token>& toks, int line) {
 std::set<std::string> allowed_rules_for(const SourceFile& file, int line) {
   const StatementExtent ext = statement_extent(file.lex.tokens, line);
   // Comment block above the statement start, plus the start line itself.
-  std::set<std::string> allows = allowed_rules(file.lines, ext.first);
+  std::set<std::string> allows = allowed_rules(file, ext.first);
   // Every further physical line of the statement.
   for (int l = ext.first + 1; l <= ext.last; ++l) {
-    const auto idx = static_cast<std::size_t>(l - 1);
-    if (idx < file.lines.size()) collect_allows(file.lines[idx], &allows);
+    collect_allow_rules(file, l, &allows);
   }
   return allows;
+}
+
+bool directive_covers(const SourceFile& file, int directive_line,
+                      int finding_line) {
+  const StatementExtent ext = statement_extent(file.lex.tokens, finding_line);
+  if (directive_line >= ext.first && directive_line <= ext.last) return true;
+  for (std::size_t j = static_cast<std::size_t>(ext.first - 1); j-- > 0;) {
+    if (!is_comment_line(file, j)) break;
+    if (static_cast<int>(j) + 1 == directive_line) return true;
+  }
+  return false;
 }
 
 SourceTree::SourceTree(
@@ -167,7 +244,9 @@ SourceTree::SourceTree(
     f.rel = rel;
     f.module = module_of(rel);
     if (!f.module.empty()) {
-      const std::string pub = "src/" + f.module + "/include/";
+      const std::string pub = starts_with(rel, "tools/")
+                                  ? "tools/lint/include/"
+                                  : "src/" + f.module + "/include/";
       if (starts_with(rel, pub)) {
         f.public_header = true;
         f.header_key = rel.substr(pub.size());
@@ -175,7 +254,13 @@ SourceTree::SourceTree(
     }
     f.lines = split_lines(content);
     f.lex = lex(content);
+    for (const CommentLine& c : f.lex.comments) {
+      std::string& slot = f.comments[c.line];
+      if (!slot.empty()) slot.push_back(' ');
+      slot += c.text;
+    }
     f.unordered_decls = find_unordered_decls(f.lex.tokens);
+    f.container_decls = find_container_decls(f.lex.tokens);
     for (const MacroDef& m : f.lex.macros) macros_.emplace(m.name, m);
     files_.push_back(std::move(f));
   }
@@ -216,6 +301,26 @@ std::set<std::string> SourceTree::visible_unordered_decls(
     }
   }
   return names;
+}
+
+std::map<std::string, std::string> SourceTree::visible_container_decls(
+    const SourceFile& file) const {
+  std::map<std::string, std::string> decls = file.container_decls;
+  std::set<std::string> seen;
+  std::vector<const SourceFile*> work{&file};
+  while (!work.empty()) {
+    const SourceFile* cur = work.back();
+    work.pop_back();
+    for (const IncludeDirective& inc : cur->lex.includes) {
+      if (!seen.insert(inc.path).second) continue;
+      const SourceFile* next = resolve(inc.path);
+      if (next == nullptr) continue;
+      decls.insert(next->container_decls.begin(),
+                   next->container_decls.end());
+      work.push_back(next);
+    }
+  }
+  return decls;
 }
 
 }  // namespace ff::lint
